@@ -1,0 +1,254 @@
+package ccs
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustExpr(t *testing.T, src string) *Process {
+	t.Helper()
+	p, err := FromExpression(src)
+	if err != nil {
+		t.Fatalf("FromExpression(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestFacadeExpressions(t *testing.T) {
+	eq, err := CCSEquivalentExpressions("a(b+c)", "ab+ac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Errorf("distributivity must fail in CCS")
+	}
+	lang, err := LanguageEquivalentExpressions("a(b+c)", "ab+ac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lang {
+		t.Errorf("distributivity must hold for languages")
+	}
+}
+
+func TestFacadeEquivalences(t *testing.T) {
+	p := mustExpr(t, "a(b+c)")
+	q := mustExpr(t, "ab+ac")
+
+	strong, err := StronglyEquivalent(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong {
+		t.Errorf("strong must fail")
+	}
+	weak, err := ObservationallyEquivalent(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak {
+		t.Errorf("weak must fail (no taus involved)")
+	}
+	trace, err := TraceEquivalent(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace {
+		t.Errorf("traces coincide")
+	}
+	k1, err := KObservationallyEquivalent(p, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1 {
+		t.Errorf("≈_1 must hold")
+	}
+	k2, err := KObservationallyEquivalent(p, q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 {
+		t.Errorf("≈_2 must fail")
+	}
+}
+
+func TestFacadeFailureEquivalence(t *testing.T) {
+	// Restricted unary pair with a refusal difference.
+	p, err := ParseProcessString("states 3\nstart 0\next 0 x\next 1 x\next 2 x\narc 0 a 1\narc 1 a 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseProcessString("states 4\nstart 0\next 0 x\next 1 x\next 2 x\next 3 x\narc 0 a 1\narc 1 a 2\narc 0 a 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, w, err := FailureEquivalent(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatalf("refusal difference missed")
+	}
+	if w == nil || w.Trace == "" || w.Refusal == "" {
+		t.Fatalf("witness not rendered: %+v", w)
+	}
+}
+
+func TestFacadeMinimize(t *testing.T) {
+	p := mustExpr(t, "ab+ab+ab")
+	min, err := MinimizeStrong(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() >= p.NumStates() {
+		t.Errorf("minimization did not shrink: %d -> %d", p.NumStates(), min.NumStates())
+	}
+	eq, err := StronglyEquivalent(p, min)
+	if err != nil || !eq {
+		t.Errorf("minimized process inequivalent: %v %v", eq, err)
+	}
+
+	wmin, err := MinimizeWeak(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weq, err := ObservationallyEquivalent(p, wmin)
+	if err != nil || !weq {
+		t.Errorf("weakly minimized process inequivalent: %v %v", weq, err)
+	}
+}
+
+func TestFacadeExplain(t *testing.T) {
+	p := mustExpr(t, "a(b+c)")
+	q := mustExpr(t, "ab+ac")
+	phi, err := Explain(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(phi, "⟨") {
+		t.Errorf("formula looks wrong: %q", phi)
+	}
+	// Equivalent processes: no formula.
+	if _, err := Explain(p, p); err == nil {
+		t.Errorf("expected error for equivalent processes")
+	}
+
+	// Weak explanation across a tau.
+	f, err := ParseProcessString("states 4\nstart 0\narc 0 a 1\narc 0 tau 2\narc 2 b 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseProcessString("states 3\nstart 0\narc 0 a 1\narc 0 b 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wphi, err := ExplainWeak(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wphi == "" {
+		t.Errorf("empty weak formula")
+	}
+}
+
+func TestParseRelation(t *testing.T) {
+	cases := []struct {
+		in   string
+		rel  Relation
+		k    int
+		fail bool
+	}{
+		{in: "strong", rel: Strong},
+		{in: "weak", rel: Weak},
+		{in: "observational", rel: Weak},
+		{in: "trace", rel: Trace},
+		{in: "failure", rel: Failure},
+		{in: "k3", rel: relationK, k: 3},
+		{in: "limited2", rel: relationLimited, k: 2},
+		{in: "bogus", fail: true},
+		{in: "k-1", fail: true},
+		{in: "kx", fail: true},
+	}
+	for _, tc := range cases {
+		rel, k, err := ParseRelation(tc.in)
+		if tc.fail {
+			if err == nil {
+				t.Errorf("ParseRelation(%q) succeeded", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseRelation(%q): %v", tc.in, err)
+			continue
+		}
+		if rel != tc.rel || k != tc.k {
+			t.Errorf("ParseRelation(%q) = %v,%d", tc.in, rel, k)
+		}
+	}
+}
+
+func TestEquivalentDispatch(t *testing.T) {
+	p := mustExpr(t, "a(b+c)")
+	q := mustExpr(t, "ab+ac")
+	for _, tc := range []struct {
+		relName string
+		want    bool
+	}{
+		{"strong", false},
+		{"weak", false},
+		{"trace", true},
+		{"k1", true},
+		{"k2", false},
+		{"limited1", true},
+		{"limited2", false},
+	} {
+		rel, k, err := ParseRelation(tc.relName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Equivalent(p, q, rel, k)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.relName, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.relName, got, tc.want)
+		}
+	}
+}
+
+func TestModelClasses(t *testing.T) {
+	p := mustExpr(t, "ab")
+	classes := ModelClasses(p)
+	joined := strings.Join(classes, ",")
+	if !strings.Contains(joined, "standard observable") {
+		t.Errorf("classes = %v", classes)
+	}
+}
+
+func TestDOTAndFormat(t *testing.T) {
+	p := mustExpr(t, "ab")
+	if !strings.Contains(DOT(p), "digraph") {
+		t.Errorf("DOT output wrong")
+	}
+	text := FormatProcess(p)
+	q, err := ParseProcessString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	eq, err := StronglyEquivalent(p, q)
+	if err != nil || !eq {
+		t.Errorf("format/parse round trip changed the process")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	for rel, want := range map[Relation]string{
+		Strong: "strong", Weak: "weak", Trace: "trace", Failure: "failure",
+		relationK: "k-observational", relationLimited: "k-limited",
+		Relation(0): "unknown",
+	} {
+		if rel.String() != want {
+			t.Errorf("String(%d) = %q, want %q", rel, rel.String(), want)
+		}
+	}
+}

@@ -1,0 +1,443 @@
+// Command ccs is an equivalence checker for CCS finite state processes.
+//
+// Usage:
+//
+//	ccs check  -rel strong|weak|trace|failure|kN|limitedN A B
+//	ccs expr   -rel ccs|language EXPR1 EXPR2
+//	ccs minimize -rel strong|weak A
+//	ccs explain [-weak] A B
+//	ccs failures [-depth N] A
+//	ccs classify A
+//	ccs dot A
+//
+// A and B name process files in the textual interchange format, or inline
+// star expressions when prefixed with "expr:". Exit status: 0 when a check
+// reports "equivalent", 1 when "inequivalent", 2 on usage or input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ccs"
+	"ccs/internal/failures"
+	"ccs/internal/fsp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	var err error
+	var verdict *bool
+	switch args[0] {
+	case "check":
+		verdict, err = cmdCheck(args[1:])
+	case "spectrum":
+		err = cmdSpectrum(args[1:])
+	case "refines":
+		verdict, err = cmdRefines(args[1:])
+	case "divergent":
+		err = cmdDivergent(args[1:])
+	case "expr":
+		verdict, err = cmdExpr(args[1:])
+	case "minimize":
+		err = cmdMinimize(args[1:])
+	case "explain":
+		err = cmdExplain(args[1:])
+	case "failures":
+		err = cmdFailures(args[1:])
+	case "classify":
+		err = cmdClassify(args[1:])
+	case "sat":
+		verdict, err = cmdSat(args[1:])
+	case "dot":
+		err = cmdDot(args[1:])
+	case "aut":
+		err = cmdAUT(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "ccs: unknown subcommand %q\n", args[0])
+		usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccs: %v\n", err)
+		return 2
+	}
+	if verdict != nil && !*verdict {
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  ccs check    -rel strong|weak|trace|failure|congruence|simulation|kN|limitedN A B
+  ccs spectrum A B
+  ccs refines  SPEC IMPL
+  ccs divergent A
+  ccs expr     -rel ccs|language EXPR1 EXPR2
+  ccs minimize -rel strong|weak A
+  ccs explain  [-weak] A B
+  ccs failures [-depth N] A
+  ccs sat      [-weak] A FORMULA
+  ccs classify A
+  ccs dot      A
+  ccs aut      A            # convert to Aldebaran .aut (CADP/mCRL2)
+
+A and B are process files (native format, or .aut by extension), or star
+expressions prefixed "expr:".
+HML formulas: tt, ff, <a>phi, [a]phi, !phi, phi&phi, phi|phi, ext(x);
+with -weak the process is saturated first and <eps> is available.
+`)
+}
+
+// loadProcess reads a process file (the native format, or Aldebaran .aut
+// by extension), or builds a representative FSP when the argument has the
+// form "expr:...".
+func loadProcess(arg string) (*ccs.Process, error) {
+	if len(arg) > 5 && arg[:5] == "expr:" {
+		return ccs.FromExpression(arg[5:])
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(arg, ".aut") {
+		return fsp.ParseAUT(f)
+	}
+	return ccs.ParseProcess(f)
+}
+
+func cmdCheck(args []string) (*bool, error) {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	relName := fs.String("rel", "strong", "equivalence relation")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 2 {
+		return nil, fmt.Errorf("check wants two process arguments")
+	}
+	rel, k, err := ccs.ParseRelation(*relName)
+	if err != nil {
+		return nil, err
+	}
+	p, err := loadProcess(fs.Arg(0))
+	if err != nil {
+		return nil, err
+	}
+	q, err := loadProcess(fs.Arg(1))
+	if err != nil {
+		return nil, err
+	}
+	eq, err := ccs.Equivalent(p, q, rel, k)
+	if err != nil {
+		return nil, err
+	}
+	if eq {
+		fmt.Printf("equivalent (%s)\n", *relName)
+	} else {
+		fmt.Printf("NOT equivalent (%s)\n", *relName)
+		if rel == ccs.Failure {
+			if _, w, err := ccs.FailureEquivalent(p, q); err == nil && w != nil {
+				side := "second"
+				if w.InFirst {
+					side = "first"
+				}
+				fmt.Printf("witness: trace %s refusing %s, in %s process only\n",
+					w.Trace, w.Refusal, side)
+			}
+		}
+		if rel == ccs.Strong {
+			if phi, err := ccs.Explain(p, q); err == nil {
+				fmt.Printf("distinguished by: %s\n", phi)
+			}
+		}
+		if rel == ccs.Weak {
+			if phi, err := ccs.ExplainWeak(p, q); err == nil {
+				fmt.Printf("distinguished by (weak modalities): %s\n", phi)
+			}
+		}
+		if rel == ccs.Trace {
+			if _, word, err := ccs.TraceWitness(p, q); err == nil && word != nil {
+				fmt.Printf("distinguishing word: %v\n", word)
+			}
+		}
+	}
+	return &eq, nil
+}
+
+func cmdSpectrum(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("spectrum wants two process arguments")
+	}
+	p, err := loadProcess(args[0])
+	if err != nil {
+		return err
+	}
+	q, err := loadProcess(args[1])
+	if err != nil {
+		return err
+	}
+	rows, err := ccs.Spectrum(p, q)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		verdict := "differ"
+		if row.Skipped {
+			verdict = "n/a"
+		} else if row.Holds {
+			verdict = "EQUAL"
+		}
+		if row.Note != "" {
+			fmt.Printf("%-28s %-8s %s\n", row.Relation, verdict, row.Note)
+		} else {
+			fmt.Printf("%-28s %s\n", row.Relation, verdict)
+		}
+	}
+	return nil
+}
+
+func cmdRefines(args []string) (*bool, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("refines wants: refines SPEC IMPL")
+	}
+	spec, err := loadProcess(args[0])
+	if err != nil {
+		return nil, err
+	}
+	impl, err := loadProcess(args[1])
+	if err != nil {
+		return nil, err
+	}
+	ok, w, err := ccs.FailureRefines(spec, impl)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		fmt.Println("refines (failures preorder)")
+	} else {
+		fmt.Println("does NOT refine")
+		if w != nil {
+			fmt.Printf("witness: implementation can fail (%s, %s); the spec forbids it\n", w.Trace, w.Refusal)
+		}
+	}
+	return &ok, nil
+}
+
+func cmdDivergent(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("divergent wants one process argument")
+	}
+	p, err := loadProcess(args[0])
+	if err != nil {
+		return err
+	}
+	states := ccs.Divergent(p)
+	if len(states) == 0 {
+		fmt.Println("no divergent states")
+		return nil
+	}
+	fmt.Printf("divergent states: %v\n", states)
+	return nil
+}
+
+func cmdExpr(args []string) (*bool, error) {
+	fs := flag.NewFlagSet("expr", flag.ContinueOnError)
+	mode := fs.String("rel", "ccs", "ccs (strong equivalence of representatives) or language")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 2 {
+		return nil, fmt.Errorf("expr wants two expression arguments")
+	}
+	var eq bool
+	var err error
+	switch *mode {
+	case "ccs":
+		eq, err = ccs.CCSEquivalentExpressions(fs.Arg(0), fs.Arg(1))
+	case "language":
+		eq, err = ccs.LanguageEquivalentExpressions(fs.Arg(0), fs.Arg(1))
+	default:
+		return nil, fmt.Errorf("unknown expression relation %q", *mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if eq {
+		fmt.Printf("equivalent (%s semantics)\n", *mode)
+	} else {
+		fmt.Printf("NOT equivalent (%s semantics)\n", *mode)
+	}
+	return &eq, nil
+}
+
+func cmdMinimize(args []string) error {
+	fs := flag.NewFlagSet("minimize", flag.ContinueOnError)
+	relName := fs.String("rel", "strong", "strong or weak")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("minimize wants one process argument")
+	}
+	p, err := loadProcess(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var min *ccs.Process
+	switch *relName {
+	case "strong":
+		min, err = ccs.MinimizeStrong(p)
+	case "weak":
+		min, err = ccs.MinimizeWeak(p)
+	default:
+		return fmt.Errorf("unknown minimization relation %q", *relName)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d states -> %d states\n", p.NumStates(), min.NumStates())
+	fmt.Print(ccs.FormatProcess(min))
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	weak := fs.Bool("weak", false, "use weak (observational) modalities")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("explain wants two process arguments")
+	}
+	p, err := loadProcess(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	q, err := loadProcess(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	var phi string
+	if *weak {
+		phi, err = ccs.ExplainWeak(p, q)
+	} else {
+		phi, err = ccs.Explain(p, q)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(phi)
+	return nil
+}
+
+func cmdFailures(args []string) error {
+	fs := flag.NewFlagSet("failures", flag.ContinueOnError)
+	depth := fs.Int("depth", 3, "maximum trace length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("failures wants one process argument")
+	}
+	p, err := loadProcess(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	list, err := failures.Enumerate(p, p.Start(), *depth)
+	if err != nil {
+		return err
+	}
+	for _, fl := range list {
+		fmt.Printf("(%s, %s)\n",
+			failures.FormatTrace(fl.Trace, p.Alphabet()),
+			fl.Refusal.Format(p.Alphabet()))
+	}
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("classify wants one process argument")
+	}
+	p, err := loadProcess(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d states, %d transitions\n", p.Name(), p.NumStates(), p.NumTransitions())
+	for _, m := range ccs.ModelClasses(p) {
+		fmt.Println("  " + m)
+	}
+	return nil
+}
+
+func cmdSat(args []string) (*bool, error) {
+	fs := flag.NewFlagSet("sat", flag.ContinueOnError)
+	weak := fs.Bool("weak", false, "saturate the process first (enables <eps>)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 2 {
+		return nil, fmt.Errorf("sat wants: sat [-weak] PROCESS FORMULA")
+	}
+	p, err := loadProcess(fs.Arg(0))
+	if err != nil {
+		return nil, err
+	}
+	if *weak {
+		p, err = ccs.Saturate(p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	holds, err := ccs.Satisfies(p, fs.Arg(1))
+	if err != nil {
+		return nil, err
+	}
+	states, err := ccs.SatisfyingStates(p, fs.Arg(1))
+	if err != nil {
+		return nil, err
+	}
+	if holds {
+		fmt.Printf("satisfied at the start state (%d/%d states satisfy)\n", len(states), p.NumStates())
+	} else {
+		fmt.Printf("NOT satisfied at the start state (%d/%d states satisfy)\n", len(states), p.NumStates())
+	}
+	return &holds, nil
+}
+
+func cmdDot(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("dot wants one process argument")
+	}
+	p, err := loadProcess(args[0])
+	if err != nil {
+		return err
+	}
+	_ = fsp.WriteDOT(os.Stdout, p)
+	return nil
+}
+
+func cmdAUT(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("aut wants one process argument")
+	}
+	p, err := loadProcess(args[0])
+	if err != nil {
+		return err
+	}
+	return fsp.WriteAUT(os.Stdout, p)
+}

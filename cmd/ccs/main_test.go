@@ -1,0 +1,156 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFixture writes a process file and returns its path.
+func writeFixture(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const chainTwo = `fsp aa
+states 3
+start 0
+ext 0 x
+ext 1 x
+ext 2 x
+arc 0 a 1
+arc 1 a 2
+`
+
+const chainBranch = `fsp aa+a
+states 4
+start 0
+ext 0 x
+ext 1 x
+ext 2 x
+ext 3 x
+arc 0 a 1
+arc 1 a 2
+arc 0 a 3
+`
+
+const chainTwoAUT = `des (0, 2, 3)
+(0, "a", 1)
+(1, "a", 2)
+`
+
+func TestAUTInterop(t *testing.T) {
+	native := writeFixture(t, "a.fsp", chainTwo)
+	aut := writeFixture(t, "a.aut", chainTwoAUT)
+	// The .aut file describes the same restricted chain; all relations
+	// must report equivalence across formats.
+	if got := run([]string{"check", "-rel", "failure", native, aut}); got != 0 {
+		t.Errorf("cross-format failure check = %d, want 0", got)
+	}
+	if got := run([]string{"check", "-rel", "strong", native, aut}); got != 0 {
+		t.Errorf("cross-format strong check = %d, want 0", got)
+	}
+}
+
+func TestRunCheck(t *testing.T) {
+	a := writeFixture(t, "a.fsp", chainTwo)
+	b := writeFixture(t, "b.fsp", chainBranch)
+	cases := []struct {
+		name string
+		args []string
+		exit int
+	}{
+		{"strong different", []string{"check", "-rel", "strong", a, b}, 1},
+		{"trace same", []string{"check", "-rel", "trace", a, b}, 0},
+		{"failure different", []string{"check", "-rel", "failure", a, b}, 1},
+		{"weak different", []string{"check", "-rel", "weak", a, b}, 1},
+		{"k1 same", []string{"check", "-rel", "k1", a, b}, 0},
+		{"limited0 same", []string{"check", "-rel", "limited0", a, b}, 0},
+		{"congruence self", []string{"check", "-rel", "congruence", a, a}, 0},
+		// aa and aa+a ARE simulation equivalent (the dead branch is
+		// simulated vacuously) even though failure-inequivalent — the
+		// classic simulation/failures incomparability.
+		{"simulation same", []string{"check", "-rel", "simulation", a, b}, 0},
+		{"simulation different", []string{"check", "-rel", "simulation", a, "expr:aaa"}, 1},
+		{"expr operands", []string{"check", "-rel", "strong", "expr:aa", "expr:aa"}, 0},
+		{"bad relation", []string{"check", "-rel", "bogus", a, b}, 2},
+		{"missing file", []string{"check", "-rel", "strong", a, "/nonexistent"}, 2},
+		{"arity", []string{"check", "-rel", "strong", a}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(tc.args); got != tc.exit {
+				t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.exit)
+			}
+		})
+	}
+}
+
+func TestRunExpr(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		exit int
+	}{
+		{"ccs different", []string{"expr", "-rel", "ccs", "a(b+c)", "ab+ac"}, 1},
+		{"language same", []string{"expr", "-rel", "language", "a(b+c)", "ab+ac"}, 0},
+		{"intersection", []string{"expr", "-rel", "language", "(aa)*&(aaa)*", "(aaaaaa)*"}, 0},
+		{"bad mode", []string{"expr", "-rel", "zzz", "a", "a"}, 2},
+		{"parse error", []string{"expr", "-rel", "ccs", "a(", "a"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(tc.args); got != tc.exit {
+				t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.exit)
+			}
+		})
+	}
+}
+
+func TestRunMinimizeExplainFailuresClassifyDotSat(t *testing.T) {
+	a := writeFixture(t, "a.fsp", chainTwo)
+	b := writeFixture(t, "b.fsp", chainBranch)
+	cases := []struct {
+		name string
+		args []string
+		exit int
+	}{
+		{"minimize strong", []string{"minimize", "-rel", "strong", b}, 0},
+		{"minimize weak", []string{"minimize", "-rel", "weak", b}, 0},
+		{"minimize bad rel", []string{"minimize", "-rel", "zzz", b}, 2},
+		{"explain", []string{"explain", a, b}, 0},
+		{"explain weak", []string{"explain", "-weak", a, b}, 0},
+		{"explain equivalent", []string{"explain", a, a}, 2},
+		{"failures", []string{"failures", "-depth", "3", a}, 0},
+		{"classify", []string{"classify", a}, 0},
+		{"dot", []string{"dot", a}, 0},
+		{"sat holds", []string{"sat", a, "<a><a>tt"}, 0},
+		{"sat fails", []string{"sat", a, "<a><a><a>tt"}, 1},
+		{"sat weak eps", []string{"sat", "-weak", a, "<eps>tt"}, 0},
+		{"sat bad formula", []string{"sat", a, "<zz>tt"}, 2},
+		{"usage", []string{"help"}, 0},
+		{"unknown", []string{"wat"}, 2},
+		{"empty", nil, 2},
+		{"spectrum", []string{"spectrum", a, b}, 0},
+		{"spectrum arity", []string{"spectrum", a}, 2},
+		{"refines ok", []string{"refines", b, a}, 0},
+		{"refines fails", []string{"refines", a, b}, 1},
+		{"refines arity", []string{"refines", a}, 2},
+		{"divergent none", []string{"divergent", a}, 0},
+		{"divergent arity", []string{"divergent"}, 2},
+		{"aut convert", []string{"aut", a}, 0},
+		{"aut arity", []string{"aut"}, 2},
+		{"aut non-restricted", []string{"aut", "expr:ab"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(tc.args); got != tc.exit {
+				t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.exit)
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+// Command ccsbench regenerates the paper's tables and figures as terminal
+// tables — one experiment per artifact, indexed E1..E13 (see DESIGN.md for
+// the experiment-to-paper mapping and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	ccsbench [-exp e1,...|all] [-seed N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e13) or 'all'")
+	seed := flag.Int64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+	flag.Parse()
+
+	if err := run(os.Stdout, *exp, *seed, *quick); err != nil {
+		fmt.Fprintf(os.Stderr, "ccsbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type experiment struct {
+	id    string
+	title string
+	fn    func(w io.Writer, seed int64, quick bool) error
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"e1", "Theorem 3.1: strong equivalence, naive vs Paige-Tarjan", runE1},
+		{"e2", "Lemma 3.2: naive method on the splitter-chain family", runE2},
+		{"e3", "Theorem 4.1(a): observational equivalence is polynomial", runE3},
+		{"e4", "Lemma 2.3.1: representative FSP size and construction time", runE4},
+		{"e5", "Fig. 2 / Table II: the r.o.u. gallery verdicts", runE5},
+		{"e6", "Theorem 4.1(b): ≈_k decider on the ladder family", runE6},
+		{"e7", "Theorem 5.1: failure equivalence, blowup vs deterministic", runE7},
+		{"e8", "Lemma 4.2 / Fig. 4: universality reduction", runE8},
+		{"e9", "Prop. 2.2.3: hierarchy ≈ ⊆ ≡ ⊆ ≈_1 on random processes", runE9},
+		{"e10", "Prop. 2.2.4: deterministic collapse", runE10},
+		{"e11", "Fig. 1a / Table I: model classifier", runE11},
+		{"e12", "Section 2.3(3): distributivity, language vs CCS", runE12},
+		{"e13", "Thm 4.1(c) / Fig. 5b,5d: chaos and the trivial NFA", runE13},
+		{"e14", "Section 6: extended star expressions are succinct", runE14},
+	}
+}
+
+func run(w io.Writer, which string, seed int64, quick bool) error {
+	wanted := map[string]bool{}
+	all := which == "all"
+	for _, id := range strings.Split(which, ",") {
+		wanted[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	ran := 0
+	for _, e := range experiments() {
+		if !all && !wanted[e.id] {
+			continue
+		}
+		ran++
+		fmt.Fprintf(w, "=== %s: %s ===\n", strings.ToUpper(e.id), e.title)
+		if err := e.fn(w, seed, quick); err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Fprintln(w)
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q", which)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment in quick mode: each must
+// complete without error and self-verify its paper claim (several
+// experiments return errors when verdicts drift).
+func TestAllExperimentsRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "all", 7, true); err != nil {
+		t.Fatalf("run: %v\noutput so far:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+		"E11", "E12", "E13", "E14",
+		"inclusion-violations=0",
+		"collapse-violations=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSelectExperiments(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "e5,e11", 1, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "E5") || !strings.Contains(out, "E11") {
+		t.Errorf("selected experiments missing from output")
+	}
+	if strings.Contains(out, "E2:") {
+		t.Errorf("unselected experiment ran")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "e99", 1, true); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}

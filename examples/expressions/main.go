@@ -1,0 +1,70 @@
+// Star-expression algebra: the laws of regular expressions that survive —
+// and fail — when the semantics moves from languages to CCS equivalence
+// classes (Section 2.3).
+//
+// Run with: go run ./examples/expressions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	laws := []struct {
+		name     string
+		lhs, rhs string
+	}{
+		{"commutativity of +", "a+b", "b+a"},
+		{"associativity of +", "(a+b)+c", "a+(b+c)"},
+		{"idempotence of +", "a+a", "a"},
+		{"associativity of ·", "(ab)c", "a(bc)"},
+		{"left distributivity", "(a+b)c", "ac+bc"},
+		{"right distributivity", "a(b+c)", "ab+ac"},
+		{"star unrolling", "a*", "aa*+0*"},
+		{"annihilator r·0 = 0", "a0", "0"},
+		{"unit 0* (empty word)", "0*a", "a"},
+	}
+	fmt.Printf("%-24s %-10s %-10s %-10s\n", "law", "language", "CCS", "verdict")
+	for _, law := range laws {
+		lang, err := ccs.LanguageEquivalentExpressions(law.lhs, law.rhs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", law.name, err)
+		}
+		ccsEq, err := ccs.CCSEquivalentExpressions(law.lhs, law.rhs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", law.name, err)
+		}
+		verdict := "holds"
+		if lang && !ccsEq {
+			verdict = "CCS-only-fails"
+		} else if !lang {
+			verdict = "fails"
+		}
+		fmt.Printf("%-24s %-10v %-10v %-10s\n", law.name, lang, ccsEq, verdict)
+	}
+
+	fmt.Println()
+	fmt.Println("The two laws the paper singles out (Section 2.3, item 3):")
+	fmt.Println("  r(s+t) = rs+rt and r·0 = 0 hold for languages, fail in CCS —")
+	fmt.Println("  CCS semantics remembers when a choice is resolved.")
+
+	// Show a representative FSP.
+	p, err := ccs.FromExpression("(ab)*")
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Printf("representative FSP of (ab)* — %d states, %d transitions:\n",
+		p.NumStates(), p.NumTransitions())
+	fmt.Print(ccs.FormatProcess(p))
+	return nil
+}

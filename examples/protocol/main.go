@@ -1,0 +1,101 @@
+// Protocol verification: check that a retransmitting link implementation
+// is observationally equivalent to its one-line specification, and catch a
+// buggy variant — the workflow the paper's polynomial-time result for ≈
+// makes practical.
+//
+//	Spec:  send · recv · Spec
+//	Impl:  send, then internally attempt transmission (tau); an attempt
+//	       either delivers (recv) or is lost and retried (tau back)
+//	Buggy: like Impl, but a lost attempt can also internally wedge the
+//	       link into a dead state
+//
+// Run with: go run ./examples/protocol
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccs"
+)
+
+func buildSpec() *ccs.Process {
+	b := ccs.NewBuilder("Spec")
+	b.AddStates(2)
+	b.ArcName(0, "send", 1)
+	b.ArcName(1, "recv", 0)
+	return b.MustBuild()
+}
+
+func buildImpl() *ccs.Process {
+	b := ccs.NewBuilder("Impl")
+	b.AddStates(3)
+	b.ArcName(0, "send", 1)
+	b.ArcName(1, "tau", 2)  // attempt transmission
+	b.ArcName(2, "tau", 1)  // lost: retry
+	b.ArcName(2, "recv", 0) // delivered
+	return b.MustBuild()
+}
+
+func buildBuggy() *ccs.Process {
+	b := ccs.NewBuilder("Buggy")
+	b.AddStates(4)
+	b.ArcName(0, "send", 1)
+	b.ArcName(1, "tau", 2)
+	b.ArcName(2, "tau", 1)
+	b.ArcName(2, "recv", 0)
+	b.ArcName(2, "tau", 3) // wedged: no way out
+	return b.MustBuild()
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	spec, impl, buggy := buildSpec(), buildImpl(), buildBuggy()
+
+	ok, err := ccs.ObservationallyEquivalent(spec, impl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Impl  ≈ Spec: %v — retransmission loop is invisible to observers\n", ok)
+
+	// Strong equivalence must fail: the tau moves are visible to ~.
+	strong, err := ccs.StronglyEquivalent(spec, impl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Impl  ~ Spec: %v — strong equivalence counts the internal moves\n\n", strong)
+
+	bad, err := ccs.ObservationallyEquivalent(spec, buggy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Buggy ≈ Spec: %v\n", bad)
+	if !bad {
+		phi, err := ccs.ExplainWeak(buggy, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bug witness (weak HML, ⟨ε⟩ = after some taus): %s\n", phi)
+		fmt.Println("reading: Buggy can silently reach a state from which recv is impossible")
+	}
+
+	// Minimizing the implementation recovers (a process the size of) the
+	// spec: the quotient by ≈ collapses the retry loop.
+	min, err := ccs.MinimizeWeak(impl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nImpl has %d states; Impl/≈ has %d states; Spec has %d states\n",
+		impl.NumStates(), min.NumStates(), spec.NumStates())
+	back, err := ccs.ObservationallyEquivalent(min, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Impl/≈ ≈ Spec: %v\n", back)
+	return nil
+}

@@ -1,0 +1,73 @@
+// Quickstart: build two processes, check them under every equivalence
+// notion of the paper, and minimize one.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Two star expressions with the same language but different branching
+	// structure — the paper's canonical example of why CCS refines the
+	// classical theory of regular sets.
+	p, err := ccs.FromExpression("a(b+c)")
+	if err != nil {
+		return err
+	}
+	q, err := ccs.FromExpression("ab+ac")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("P = a(b+c): %d states, %d transitions\n", p.NumStates(), p.NumTransitions())
+	fmt.Printf("Q = ab+ac:  %d states, %d transitions\n\n", q.NumStates(), q.NumTransitions())
+
+	trace, err := ccs.TraceEquivalent(p, q)
+	if err != nil {
+		return err
+	}
+	strong, err := ccs.StronglyEquivalent(p, q)
+	if err != nil {
+		return err
+	}
+	weak, err := ccs.ObservationallyEquivalent(p, q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace  (≈_1): %v   — same language\n", trace)
+	fmt.Printf("strong (~):   %v  — different branching\n", strong)
+	fmt.Printf("weak   (≈):   %v  — no taus, so same as strong here\n\n", weak)
+
+	// When processes differ, the library explains why with a
+	// Hennessy-Milner formula satisfied by P but not Q.
+	phi, err := ccs.Explain(p, q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("P satisfies, Q does not: %s\n\n", phi)
+
+	// Minimization: quotient by strong equivalence.
+	dup, err := ccs.FromExpression("ab+ab+ab")
+	if err != nil {
+		return err
+	}
+	min, err := ccs.MinimizeStrong(dup)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ab+ab+ab minimized: %d states -> %d states\n", dup.NumStates(), min.NumStates())
+	fmt.Println()
+	fmt.Println("minimized process in interchange format:")
+	fmt.Print(ccs.FormatProcess(min))
+	return nil
+}

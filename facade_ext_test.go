@@ -1,0 +1,179 @@
+package ccs
+
+import (
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Process {
+	t.Helper()
+	p, err := ParseProcessString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFacadeCongruence(t *testing.T) {
+	tauA := mustParse(t, "states 3\nstart 0\narc 0 tau 1\narc 1 a 2\n")
+	a := mustParse(t, "states 2\nstart 0\narc 0 a 1\n")
+	weak, err := ObservationallyEquivalent(tauA, a)
+	if err != nil || !weak {
+		t.Fatalf("tau.a ≈ a expected: %v %v", weak, err)
+	}
+	cong, err := ObservationCongruent(tauA, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cong {
+		t.Errorf("tau.a ≈ᶜ a must fail")
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	p := mustExpr(t, "a(b+c)")
+	q := mustExpr(t, "ab+ac")
+	// q ≤ p but not p ≤ q.
+	qp, err := Simulates(q, p)
+	if err != nil || !qp {
+		t.Errorf("Simulates(q,p) = %v %v, want true", qp, err)
+	}
+	pq, err := Simulates(p, q)
+	if err != nil || pq {
+		t.Errorf("Simulates(p,q) = %v %v, want false", pq, err)
+	}
+	eq, err := SimulationEquivalent(p, q)
+	if err != nil || eq {
+		t.Errorf("SimulationEquivalent = %v %v, want false", eq, err)
+	}
+}
+
+func TestFacadeComposeRestrictIntersect(t *testing.T) {
+	sender := mustParse(t, "states 2\nstart 0\narc 0 m' 1\n")
+	receiver := mustParse(t, "states 2\nstart 0\narc 0 m 1\n")
+	comp, err := Compose(sender, receiver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden, err := Restrict(comp, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hidden.NumTransitions() != 1 {
+		t.Errorf("restricted composition should keep only the handshake tau")
+	}
+
+	even := mustParse(t, "states 2\nstart 0\next 0 x\narc 0 a 1\narc 1 a 0\n")
+	all := mustParse(t, "states 1\nstart 0\next 0 x\narc 0 a 0\n")
+	inter, err := Intersect(even, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := TraceEquivalent(inter, even)
+	if err != nil || !eq {
+		t.Errorf("L ∩ Sigma* must equal L: %v %v", eq, err)
+	}
+}
+
+func TestFacadeSatisfies(t *testing.T) {
+	p := mustExpr(t, "a(b+c)")
+	ok, err := Satisfies(p, "<a>(<b>tt & <c>tt)")
+	if err != nil || !ok {
+		t.Errorf("formula should hold: %v %v", ok, err)
+	}
+	ok, err = Satisfies(p, "[a]ff")
+	if err != nil || ok {
+		t.Errorf("formula should fail: %v %v", ok, err)
+	}
+	states, err := SatisfyingStates(p, "tt")
+	if err != nil || len(states) != p.NumStates() {
+		t.Errorf("tt should hold everywhere: %v %v", states, err)
+	}
+	if _, err := Satisfies(p, "<nosuch>tt"); err == nil {
+		t.Error("unknown action accepted")
+	}
+
+	// Weak modality through saturation.
+	tauB := mustParse(t, "states 3\nstart 0\narc 0 tau 1\narc 1 b 2\n")
+	sat, err := Saturate(tauB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = Satisfies(sat, "<eps><b>tt")
+	if err != nil || !ok {
+		t.Errorf("weak formula should hold: %v %v", ok, err)
+	}
+}
+
+func TestFacadeFailureRefines(t *testing.T) {
+	spec := mustParse(t, "states 4\nstart 0\next 0 x\next 1 x\next 2 x\next 3 x\narc 0 a 1\narc 1 a 2\narc 0 a 3\n") // aa + a
+	impl := mustParse(t, "states 3\nstart 0\next 0 x\next 1 x\next 2 x\narc 0 a 1\narc 1 a 2\n")                     // aa
+	ok, _, err := FailureRefines(spec, impl)
+	if err != nil || !ok {
+		t.Errorf("aa must refine aa+a: %v %v", ok, err)
+	}
+	ok, w, err := FailureRefines(impl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("aa+a must not refine aa")
+	}
+	if w == nil || w.Refusal == "" {
+		t.Errorf("witness missing: %+v", w)
+	}
+}
+
+func TestFacadeTraceWitness(t *testing.T) {
+	p := mustExpr(t, "a")
+	q := mustExpr(t, "aa")
+	eq, word, err := TraceWitness(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq || len(word) != 1 || word[0] != "a" {
+		t.Errorf("expected distinguishing word [a], got eq=%v word=%v", eq, word)
+	}
+}
+
+func TestFacadeDivergent(t *testing.T) {
+	p := mustParse(t, "states 3\nstart 0\narc 0 a 1\narc 1 tau 2\narc 2 tau 1\n")
+	div := Divergent(p)
+	if len(div) != 2 {
+		t.Errorf("divergent states = %v, want the two tau-cycle states", div)
+	}
+	quiet := mustExpr(t, "ab")
+	if got := Divergent(quiet); got != nil {
+		t.Errorf("tau-free process reported divergent: %v", got)
+	}
+}
+
+func TestFacadeRelationDispatchNew(t *testing.T) {
+	p := mustExpr(t, "a(b+c)")
+	q := mustExpr(t, "ab+ac")
+	for _, tc := range []struct {
+		relName string
+		want    bool
+	}{
+		{"congruence", false},
+		{"simulation", false},
+		{"sim", false},
+	} {
+		rel, k, err := ParseRelation(tc.relName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Equivalent(p, q, rel, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.relName, got, tc.want)
+		}
+	}
+	if Congruence.String() != "observation congruence" || Simulation.String() != "simulation" {
+		t.Errorf("relation names wrong")
+	}
+	if _, err := Equivalent(p, q, Relation(999), 0); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package automata
+
+import "fmt"
+
+// DFA is a complete deterministic finite automaton: every state has exactly
+// one successor per symbol.
+type DFA struct {
+	numStates  int
+	numSymbols int
+	start      int32
+	accept     []bool
+	delta      [][]int32 // delta[state][symbol]
+}
+
+// NewDFA returns a DFA with the given shape whose transitions all initially
+// self-loop (state 0 target); callers set them with SetArc.
+func NewDFA(states, symbols int, start int32) (*DFA, error) {
+	if states <= 0 {
+		return nil, fmt.Errorf("automata: states = %d, want > 0", states)
+	}
+	if start < 0 || int(start) >= states {
+		return nil, fmt.Errorf("automata: start %d out of range", start)
+	}
+	delta := make([][]int32, states)
+	for i := range delta {
+		delta[i] = make([]int32, symbols)
+	}
+	return &DFA{
+		numStates:  states,
+		numSymbols: symbols,
+		start:      start,
+		accept:     make([]bool, states),
+		delta:      delta,
+	}, nil
+}
+
+// MustDFA is NewDFA for statically known shapes; it panics on error.
+func MustDFA(states, symbols int, start int32) *DFA {
+	d, err := NewDFA(states, symbols, start)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// SetArc sets the unique transition (from, sym) -> to.
+func (d *DFA) SetArc(from int32, sym int, to int32) error {
+	if from < 0 || int(from) >= d.numStates || to < 0 || int(to) >= d.numStates {
+		return fmt.Errorf("automata: arc (%d,%d,%d) out of range", from, sym, to)
+	}
+	if sym < 0 || sym >= d.numSymbols {
+		return fmt.Errorf("automata: symbol %d out of range", sym)
+	}
+	d.delta[from][sym] = to
+	return nil
+}
+
+// SetAccept marks state s accepting or not.
+func (d *DFA) SetAccept(s int32, accepting bool) { d.accept[s] = accepting }
+
+// NumStates returns the number of states.
+func (d *DFA) NumStates() int { return d.numStates }
+
+// NumSymbols returns the alphabet size.
+func (d *DFA) NumSymbols() int { return d.numSymbols }
+
+// Start returns the start state.
+func (d *DFA) Start() int32 { return d.start }
+
+// Accepting reports whether s is accepting.
+func (d *DFA) Accepting(s int32) bool { return d.accept[s] }
+
+// Next returns the unique successor of (s, sym).
+func (d *DFA) Next(s int32, sym int) int32 { return d.delta[s][sym] }
+
+// AcceptsWord runs the DFA on one word.
+func (d *DFA) AcceptsWord(word []int) bool {
+	s := d.start
+	for _, sym := range word {
+		if sym < 0 || sym >= d.numSymbols {
+			return false
+		}
+		s = d.delta[s][sym]
+	}
+	return d.accept[s]
+}
+
+// Determinize performs the subset construction, producing a complete DFA
+// whose states are the reachable subsets (including the empty "dead"
+// subset when some transition is missing).
+func Determinize(n *NFA) *DFA {
+	type entry struct {
+		set []int32
+		id  int32
+	}
+	ids := map[string]int32{}
+	var queue []entry
+
+	intern := func(set []int32) int32 {
+		k := setKey(set)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := int32(len(ids))
+		ids[k] = id
+		queue = append(queue, entry{set: set, id: id})
+		return id
+	}
+
+	mark := make([]bool, n.numStates)
+	startID := intern([]int32{n.start})
+	var (
+		accept []bool
+		delta  [][]int32
+	)
+	for head := 0; head < len(queue); head++ {
+		e := queue[head]
+		for int(e.id) >= len(accept) {
+			accept = append(accept, false)
+			delta = append(delta, make([]int32, n.numSymbols))
+		}
+		accept[e.id] = n.anyAccepting(e.set)
+		for sym := 0; sym < n.numSymbols; sym++ {
+			succ := n.step(e.set, sym, mark)
+			delta[e.id][sym] = intern(succ)
+		}
+	}
+	// Late-created states (queued but loop already sized arrays): the loop
+	// above extends arrays on visit, and every queued id is visited.
+	return &DFA{
+		numStates:  len(queue),
+		numSymbols: n.numSymbols,
+		start:      startID,
+		accept:     accept,
+		delta:      delta,
+	}
+}
+
+// Reachable returns the set of states reachable from the start.
+func (d *DFA) Reachable() []bool {
+	seen := make([]bool, d.numStates)
+	seen[d.start] = true
+	stack := []int32{d.start}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for sym := 0; sym < d.numSymbols; sym++ {
+			t := d.delta[s][sym]
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}

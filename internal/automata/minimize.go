@@ -1,0 +1,90 @@
+package automata
+
+import (
+	"ccs/internal/partition"
+)
+
+// Minimize returns the minimal complete DFA accepting the same language,
+// considering only reachable states. It delegates to the relational coarsest
+// partition solver, which on deterministic graphs specializes to Hopcroft's
+// O(N log N) "process the smaller half" algorithm (Hopcroft 1971) — the
+// technique the paper generalizes in Section 3.
+func (d *DFA) Minimize() *DFA {
+	return d.minimizeWith(func(pr *partition.Problem) *partition.Partition {
+		return pr.PaigeTarjan()
+	})
+}
+
+// MinimizeMoore is the O(N^2 sigma) round-based minimization of Moore,
+// retained as an independently implemented cross-check for Minimize.
+func (d *DFA) MinimizeMoore() *DFA {
+	return d.minimizeWith(func(pr *partition.Problem) *partition.Partition {
+		return pr.Naive()
+	})
+}
+
+func (d *DFA) minimizeWith(solve func(*partition.Problem) *partition.Partition) *DFA {
+	// Restrict to reachable states, renumbering densely.
+	reach := d.Reachable()
+	remap := make([]int32, d.numStates)
+	var live int32
+	for s := 0; s < d.numStates; s++ {
+		if reach[s] {
+			remap[s] = live
+			live++
+		} else {
+			remap[s] = -1
+		}
+	}
+
+	pr := &partition.Problem{
+		N:         int(live),
+		NumLabels: d.numSymbols,
+		Initial:   make([]int32, live),
+	}
+	// Initial partition: accepting vs non-accepting (made dense below).
+	hasAcc, hasRej := false, false
+	for s := 0; s < d.numStates; s++ {
+		if reach[s] && d.accept[s] {
+			hasAcc = true
+		}
+		if reach[s] && !d.accept[s] {
+			hasRej = true
+		}
+	}
+	for s := 0; s < d.numStates; s++ {
+		if !reach[s] {
+			continue
+		}
+		blk := int32(0)
+		if hasAcc && hasRej && !d.accept[s] {
+			blk = 1
+		}
+		pr.Initial[remap[s]] = blk
+		for sym := 0; sym < d.numSymbols; sym++ {
+			pr.Edges = append(pr.Edges, partition.Edge{
+				From:  remap[s],
+				Label: int32(sym),
+				To:    remap[d.delta[s][sym]],
+			})
+		}
+	}
+	p := solve(pr)
+
+	out, err := NewDFA(p.NumBlocks(), d.numSymbols, p.Block(remap[d.start]))
+	if err != nil {
+		// p.NumBlocks() >= 1 whenever live >= 1; unreachable in practice.
+		panic(err)
+	}
+	for s := 0; s < d.numStates; s++ {
+		if !reach[s] {
+			continue
+		}
+		b := p.Block(remap[s])
+		out.accept[b] = d.accept[s]
+		for sym := 0; sym < d.numSymbols; sym++ {
+			out.delta[b][sym] = p.Block(remap[d.delta[s][sym]])
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+// Package automata provides the classical finite-automata substrate that the
+// paper builds on (Hopcroft & Ullman 1979): NFAs and DFAs, subset
+// construction, Hopcroft's O(N log N) and Moore's DFA minimization, DFA
+// equivalence with UNION-FIND (Aho, Hopcroft & Ullman 1974, §4.8), on-the-fly
+// NFA language equivalence, and universality testing (L = Sigma*, the
+// PSPACE-complete problem of Stockmeyer & Meyer 1973 that drives the paper's
+// lower bounds).
+//
+// Automata here are epsilon-free: callers eliminate tau moves with the fsp
+// package's closure utilities before converting.
+package automata
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NFA is a nondeterministic finite automaton over a dense symbol alphabet
+// 0..NumSymbols-1 without epsilon moves.
+type NFA struct {
+	numStates  int
+	numSymbols int
+	start      int32
+	accept     []bool
+	delta      [][][]int32 // delta[state][symbol] sorted target list
+}
+
+// NewNFA returns an empty NFA with the given shape. All states start
+// non-accepting.
+func NewNFA(states, symbols int, start int32) (*NFA, error) {
+	if states <= 0 {
+		return nil, fmt.Errorf("automata: states = %d, want > 0", states)
+	}
+	if symbols < 0 {
+		return nil, fmt.Errorf("automata: symbols = %d, want >= 0", symbols)
+	}
+	if start < 0 || int(start) >= states {
+		return nil, fmt.Errorf("automata: start %d out of range", start)
+	}
+	delta := make([][][]int32, states)
+	for i := range delta {
+		delta[i] = make([][]int32, symbols)
+	}
+	return &NFA{
+		numStates:  states,
+		numSymbols: symbols,
+		start:      start,
+		accept:     make([]bool, states),
+		delta:      delta,
+	}, nil
+}
+
+// MustNFA is NewNFA for statically known shapes; it panics on error.
+func MustNFA(states, symbols int, start int32) *NFA {
+	n, err := NewNFA(states, symbols, start)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// AddArc inserts the transition (from, sym, to). Duplicates are ignored.
+func (n *NFA) AddArc(from int32, sym int, to int32) error {
+	if from < 0 || int(from) >= n.numStates || to < 0 || int(to) >= n.numStates {
+		return fmt.Errorf("automata: arc (%d,%d,%d) out of range", from, sym, to)
+	}
+	if sym < 0 || sym >= n.numSymbols {
+		return fmt.Errorf("automata: symbol %d out of range", sym)
+	}
+	lst := n.delta[from][sym]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= to })
+	if i < len(lst) && lst[i] == to {
+		return nil
+	}
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = to
+	n.delta[from][sym] = lst
+	return nil
+}
+
+// SetAccept marks state s accepting or not.
+func (n *NFA) SetAccept(s int32, accepting bool) {
+	n.accept[s] = accepting
+}
+
+// NumStates returns the number of states.
+func (n *NFA) NumStates() int { return n.numStates }
+
+// NumSymbols returns the alphabet size.
+func (n *NFA) NumSymbols() int { return n.numSymbols }
+
+// Start returns the start state.
+func (n *NFA) Start() int32 { return n.start }
+
+// Accepting reports whether s is accepting.
+func (n *NFA) Accepting(s int32) bool { return n.accept[s] }
+
+// Next returns the sorted successor list of (s, sym); shared, do not modify.
+func (n *NFA) Next(s int32, sym int) []int32 { return n.delta[s][sym] }
+
+// NumArcs counts the transitions.
+func (n *NFA) NumArcs() int {
+	total := 0
+	for _, row := range n.delta {
+		for _, lst := range row {
+			total += len(lst)
+		}
+	}
+	return total
+}
+
+// step returns the sorted successor set of a sorted state set under sym.
+func (n *NFA) step(set []int32, sym int, mark []bool) []int32 {
+	var out []int32
+	for _, s := range set {
+		for _, t := range n.delta[s][sym] {
+			if !mark[t] {
+				mark[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	for _, t := range out {
+		mark[t] = false
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// anyAccepting reports whether the set contains an accepting state.
+func (n *NFA) anyAccepting(set []int32) bool {
+	for _, s := range set {
+		if n.accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// AcceptsWord runs the subset simulation on one word. Intended for tests
+// and brute-force cross-validation.
+func (n *NFA) AcceptsWord(word []int) bool {
+	set := []int32{n.start}
+	mark := make([]bool, n.numStates)
+	for _, sym := range word {
+		if sym < 0 || sym >= n.numSymbols {
+			return false
+		}
+		set = n.step(set, sym, mark)
+		if len(set) == 0 {
+			return false
+		}
+	}
+	return n.anyAccepting(set)
+}
+
+func setKey(set []int32) string {
+	buf := make([]byte, 0, len(set)*4)
+	for _, s := range set {
+		buf = append(buf, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	}
+	return string(buf)
+}

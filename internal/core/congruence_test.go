@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccs/internal/fsp"
+)
+
+func buildTauA() *fsp.FSP {
+	b := fsp.NewBuilder("tau.a")
+	b.AddStates(3)
+	b.ArcName(0, fsp.TauName, 1)
+	b.ArcName(1, "a", 2)
+	return b.MustBuild()
+}
+
+func buildA() *fsp.FSP {
+	b := fsp.NewBuilder("a")
+	b.AddStates(2)
+	b.ArcName(0, "a", 1)
+	return b.MustBuild()
+}
+
+func TestCongruenceSeparatesTauPrefix(t *testing.T) {
+	// tau.a ≈ a, but tau.a ≉ᶜ a: the classic separating law.
+	tauA, a := buildTauA(), buildA()
+	weak, err := WeakEquivalent(tauA, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weak {
+		t.Fatalf("setup: tau.a ≈ a expected")
+	}
+	cong, err := ObservationCongruent(tauA, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cong {
+		t.Errorf("tau.a ≈ᶜ a must NOT hold")
+	}
+}
+
+func TestCongruenceTauLawInside(t *testing.T) {
+	// a.tau.b ≈ᶜ a.b: Milner's first tau law is congruence-valid because
+	// the tau is not at the root.
+	b1 := fsp.NewBuilder("a.tau.b")
+	b1.AddStates(4)
+	b1.ArcName(0, "a", 1)
+	b1.ArcName(1, fsp.TauName, 2)
+	b1.ArcName(2, "b", 3)
+	p := b1.MustBuild()
+
+	b2 := fsp.NewBuilder("a.b")
+	b2.AddStates(3)
+	b2.ArcName(0, "a", 1)
+	b2.ArcName(1, "b", 2)
+	q := b2.MustBuild()
+
+	cong, err := ObservationCongruent(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cong {
+		t.Errorf("a.tau.b ≈ᶜ a.b must hold")
+	}
+}
+
+func TestCongruenceThirdTauLaw(t *testing.T) {
+	// a + tau.a ≈ᶜ tau.a (Milner's third tau law).
+	b1 := fsp.NewBuilder("a+tau.a")
+	b1.AddStates(4)
+	b1.ArcName(0, "a", 1)
+	b1.ArcName(0, fsp.TauName, 2)
+	b1.ArcName(2, "a", 3)
+	p := b1.MustBuild()
+
+	b2 := fsp.NewBuilder("tau.a")
+	b2.AddStates(3)
+	b2.ArcName(0, fsp.TauName, 1)
+	b2.ArcName(1, "a", 2)
+	q := b2.MustBuild()
+
+	cong, err := ObservationCongruent(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cong {
+		t.Errorf("a + tau.a ≈ᶜ tau.a must hold")
+	}
+}
+
+func TestCongruenceExtensionsMatter(t *testing.T) {
+	b := fsp.NewBuilder("")
+	b.AddStates(2)
+	b.Accept(0)
+	f := b.MustBuild()
+	cong, err := ObservationCongruentStates(f, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cong {
+		t.Errorf("states with different extensions cannot be congruent")
+	}
+}
+
+// Property: ~ ⊆ ≈ᶜ ⊆ ≈ — observation congruence sits between strong and
+// weak equivalence.
+func TestQuickCongruenceSandwich(t *testing.T) {
+	prop := func(a, b genProc) bool {
+		strong, err := StrongEquivalent(a.f, b.f)
+		if err != nil {
+			return false
+		}
+		cong, err := ObservationCongruent(a.f, b.f)
+		if err != nil {
+			return false
+		}
+		weak, err := WeakEquivalent(a.f, b.f)
+		if err != nil {
+			return false
+		}
+		if strong && !cong {
+			return false
+		}
+		if cong && !weak {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(77))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ≈ᶜ is symmetric and reflexive.
+func TestQuickCongruenceRelationLaws(t *testing.T) {
+	prop := func(a, b genProc) bool {
+		refl, err := ObservationCongruent(a.f, a.f)
+		if err != nil || !refl {
+			return false
+		}
+		ab, err := ObservationCongruent(a.f, b.f)
+		if err != nil {
+			return false
+		}
+		ba, err := ObservationCongruent(b.f, a.f)
+		if err != nil {
+			return false
+		}
+		return ab == ba
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package core implements the paper's equivalence-checking algorithms:
+//
+//   - Strong equivalence (Definition 2.2.3) via the Lemma 3.1 reduction to
+//     generalized partitioning, with the O(m log n + n) bound of Theorem 3.1
+//     when the Paige-Tarjan solver is selected.
+//   - Observational equivalence (Definition 2.2.1/2.2.2 via Proposition
+//     2.2.1: the limited and unlimited notions coincide) by the Theorem
+//     4.1(a) construction: saturate the FSP into its observable weak form
+//     P-hat and decide strong equivalence there.
+//   - The k-limited observational equivalence ladder ≃_k of Definition
+//     2.2.2, realized as k rounds of naive refinement on the saturated FSP.
+//   - Quotients (state minimization) modulo strong and observational
+//     equivalence.
+//
+// States of two different processes are compared by forming their disjoint
+// union, exactly as licensed by the remark in the proof of Lemma 3.1.
+package core
+
+import (
+	"fmt"
+
+	"ccs/internal/fsp"
+	"ccs/internal/partition"
+)
+
+// Algorithm selects the generalized-partitioning solver.
+type Algorithm int
+
+const (
+	// PaigeTarjan is the O(m log n) solver of Theorem 3.1 (default).
+	PaigeTarjan Algorithm = iota + 1
+	// Naive is the O(nm) method of Lemma 3.2, kept as a baseline.
+	Naive
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case PaigeTarjan:
+		return "paige-tarjan"
+	case Naive:
+		return "naive"
+	default:
+		return "unknown"
+	}
+}
+
+type config struct {
+	algo Algorithm
+}
+
+// Option configures the equivalence checkers.
+type Option func(*config)
+
+// WithAlgorithm selects the partitioning solver.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *config) { c.algo = a }
+}
+
+func newConfig(opts []Option) config {
+	c := config{algo: PaigeTarjan}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+func (c config) solve(pr *partition.Problem) *partition.Partition {
+	if c.algo == Naive {
+		return pr.Naive()
+	}
+	return pr.PaigeTarjan()
+}
+
+// problemOf encodes f as a generalized-partitioning instance per Lemma 3.1:
+// the element set is K, the initial partition groups states by extension,
+// and there is one function per action (tau, if present, is treated as an
+// ordinary label, which is exactly strong equivalence; observational
+// equivalence callers saturate first so no tau remains).
+func problemOf(f *fsp.FSP) *partition.Problem {
+	n := f.NumStates()
+	pr := &partition.Problem{
+		N:         n,
+		NumLabels: f.Alphabet().Len(),
+		Initial:   make([]int32, n),
+	}
+	blockByExt := map[fsp.VarSet]int32{}
+	for s := 0; s < n; s++ {
+		e := f.Ext(fsp.State(s))
+		b, ok := blockByExt[e]
+		if !ok {
+			b = int32(len(blockByExt))
+			blockByExt[e] = b
+		}
+		pr.Initial[s] = b
+		for _, a := range f.Arcs(fsp.State(s)) {
+			pr.Edges = append(pr.Edges, partition.Edge{
+				From:  int32(s),
+				Label: int32(a.Act),
+				To:    int32(a.To),
+			})
+		}
+	}
+	return pr
+}
+
+// StrongPartition computes the strong-equivalence partition of f's states:
+// two states share a block iff they are strongly equivalent (p ~ q). This is
+// the Lemma 3.1 reduction; the solver choice realizes Theorem 3.1 or the
+// Lemma 3.2 baseline.
+func StrongPartition(f *fsp.FSP, opts ...Option) *partition.Partition {
+	c := newConfig(opts)
+	return c.solve(problemOf(f))
+}
+
+// StrongEquivalentStates reports p ~ q for two states of f.
+func StrongEquivalentStates(f *fsp.FSP, p, q fsp.State, opts ...Option) bool {
+	return StrongPartition(f, opts...).Same(int32(p), int32(q))
+}
+
+// StrongEquivalent reports whether the start states of f and g are strongly
+// equivalent, by checking them inside the disjoint union of the processes.
+func StrongEquivalent(f, g *fsp.FSP, opts ...Option) (bool, error) {
+	u, off, err := fsp.DisjointUnion(f, g)
+	if err != nil {
+		return false, fmt.Errorf("strong equivalence: %w", err)
+	}
+	return StrongEquivalentStates(u, f.Start(), off+g.Start(), opts...), nil
+}
+
+// WeakPartition computes the observational-equivalence partition of f's
+// states (p ≈ q) by the Theorem 4.1(a) algorithm: build the saturated
+// observable FSP P-hat (weak derivatives for every observable action plus
+// the epsilon relation) and solve strong equivalence there.
+func WeakPartition(f *fsp.FSP, opts ...Option) (*partition.Partition, error) {
+	sat, _, err := fsp.Saturate(f)
+	if err != nil {
+		return nil, fmt.Errorf("observational equivalence: %w", err)
+	}
+	return StrongPartition(sat, opts...), nil
+}
+
+// WeakEquivalentStates reports p ≈ q for two states of f.
+func WeakEquivalentStates(f *fsp.FSP, p, q fsp.State, opts ...Option) (bool, error) {
+	part, err := WeakPartition(f, opts...)
+	if err != nil {
+		return false, err
+	}
+	return part.Same(int32(p), int32(q)), nil
+}
+
+// WeakEquivalent reports whether the start states of f and g are
+// observationally equivalent.
+func WeakEquivalent(f, g *fsp.FSP, opts ...Option) (bool, error) {
+	u, off, err := fsp.DisjointUnion(f, g)
+	if err != nil {
+		return false, fmt.Errorf("observational equivalence: %w", err)
+	}
+	return WeakEquivalentStates(u, f.Start(), off+g.Start(), opts...)
+}
+
+// LimitedPartition computes the k-limited observational equivalence ≃_k of
+// Definition 2.2.2: the partition after exactly k refinement rounds on the
+// saturated FSP, starting from the extension partition (≃_0). k < 0 runs to
+// the fixed point, which is ≃ and hence ≈ by Proposition 2.2.1(c). The
+// second result is the number of rounds that changed the partition.
+func LimitedPartition(f *fsp.FSP, k int) (*partition.Partition, int, error) {
+	sat, _, err := fsp.Saturate(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("limited equivalence: %w", err)
+	}
+	p, rounds := problemOf(sat).RefineSteps(k)
+	return p, rounds, nil
+}
+
+// LimitedEquivalentStates reports p ≃_k q for two states of f.
+func LimitedEquivalentStates(f *fsp.FSP, p, q fsp.State, k int) (bool, error) {
+	part, _, err := LimitedPartition(f, k)
+	if err != nil {
+		return false, err
+	}
+	return part.Same(int32(p), int32(q)), nil
+}
+
+// Classes converts a partition over f's states into explicit equivalence
+// classes (sorted state lists).
+func Classes(f *fsp.FSP, p *partition.Partition) [][]fsp.State {
+	blocks := p.Blocks()
+	out := make([][]fsp.State, len(blocks))
+	for i, b := range blocks {
+		out[i] = make([]fsp.State, len(b))
+		for j, x := range b {
+			out[i][j] = fsp.State(x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ccs/internal/fsp"
+)
+
+// epsCollision builds a process whose alphabet already contains the
+// saturation epsilon name, to exercise error propagation.
+func epsCollision() *fsp.FSP {
+	b := fsp.NewBuilder("bad")
+	b.AddStates(2)
+	b.ArcName(0, fsp.EpsilonName, 1)
+	return b.MustBuild()
+}
+
+func TestWeakErrorPropagation(t *testing.T) {
+	bad := epsCollision()
+	if _, err := WeakPartition(bad); err == nil {
+		t.Error("WeakPartition accepted ε-colliding alphabet")
+	}
+	if _, err := WeakEquivalent(bad, bad); err == nil {
+		t.Error("WeakEquivalent accepted ε-colliding alphabet")
+	}
+	if _, _, err := LimitedPartition(bad, 1); err == nil {
+		t.Error("LimitedPartition accepted ε-colliding alphabet")
+	}
+	if _, _, err := QuotientWeak(bad); err == nil {
+		t.Error("QuotientWeak accepted ε-colliding alphabet")
+	}
+	if _, err := ObservationCongruent(bad, bad); err == nil {
+		t.Error("ObservationCongruent accepted ε-colliding alphabet")
+	}
+	if err, want := func() error {
+		_, err := WeakPartition(bad)
+		return err
+	}(), "observational equivalence"; err == nil || !strings.Contains(err.Error(), want) {
+		t.Errorf("error %v should mention %q", err, want)
+	}
+}
+
+func TestLimitedPartitionZeroRounds(t *testing.T) {
+	f := chain("f", 2)
+	p, rounds, err := LimitedPartition(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 0 {
+		t.Errorf("rounds = %d, want 0", rounds)
+	}
+	// ≃_0 groups by extension: all states accepting -> one block.
+	if p.NumBlocks() != 1 {
+		t.Errorf("≃_0 blocks = %d, want 1", p.NumBlocks())
+	}
+}
+
+func TestQuotientPreservesName(t *testing.T) {
+	f := chain("named", 1)
+	q, _, err := QuotientStrong(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.Name(), "named") {
+		t.Errorf("quotient name = %q", q.Name())
+	}
+}
+
+func TestStrongPartitionSingleState(t *testing.T) {
+	b := fsp.NewBuilder("one")
+	b.AddStates(1)
+	f := b.MustBuild()
+	p := StrongPartition(f)
+	if p.NumBlocks() != 1 || p.Len() != 1 {
+		t.Errorf("single state partition wrong")
+	}
+	q, mapping, err := QuotientStrong(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumStates() != 1 || mapping[0] != 0 {
+		t.Errorf("single state quotient wrong")
+	}
+}
+
+func TestSelfLoopTauProcess(t *testing.T) {
+	// A pure tau self-loop is weakly equivalent to a dead state.
+	b1 := fsp.NewBuilder("spin")
+	b1.AddStates(1)
+	b1.ArcName(0, fsp.TauName, 0)
+	spin := b1.MustBuild()
+	b2 := fsp.NewBuilder("dead")
+	b2.AddStates(1)
+	dead := b2.MustBuild()
+	eq, err := WeakEquivalent(spin, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("tau self-loop must be ≈ to a dead state (divergence-blind)")
+	}
+}

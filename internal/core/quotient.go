@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"ccs/internal/fsp"
+	"ccs/internal/partition"
+)
+
+// QuotientStrong returns the quotient of f modulo strong equivalence: one
+// state per equivalence class, with an arc (B, a, C) whenever some (hence,
+// by bisimilarity, every) member of B has an a-arc into C. The quotient is
+// the state-minimal process strongly equivalent to f, the CCS analogue of
+// DFA minimization. The returned map sends each original state to its class.
+func QuotientStrong(f *fsp.FSP, opts ...Option) (*fsp.FSP, []fsp.State, error) {
+	p := StrongPartition(f, opts...)
+	q, m, err := quotient(f, p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("strong quotient: %w", err)
+	}
+	return q, m, nil
+}
+
+// quotient collapses f along an equivalence partition that is a strong
+// bisimulation. Every class member has the same arcs up to classes, so a
+// single representative per class suffices.
+func quotient(f *fsp.FSP, p *partition.Partition) (*fsp.FSP, []fsp.State, error) {
+	b := fsp.NewBuilderWith(f.Name()+"/~", f.Alphabet().Clone(), f.Vars().Clone())
+	b.AddStates(p.NumBlocks())
+	b.SetStart(fsp.State(p.Block(int32(f.Start()))))
+
+	reps := make([]fsp.State, p.NumBlocks())
+	for i := range reps {
+		reps[i] = fsp.None
+	}
+	mapping := make([]fsp.State, f.NumStates())
+	for s := 0; s < f.NumStates(); s++ {
+		blk := p.Block(int32(s))
+		mapping[s] = fsp.State(blk)
+		if reps[blk] == fsp.None {
+			reps[blk] = fsp.State(s)
+		}
+	}
+	for blk, rep := range reps {
+		for _, a := range f.Arcs(rep) {
+			b.Arc(fsp.State(blk), a.Act, fsp.State(p.Block(int32(a.To))))
+		}
+		for _, id := range f.Ext(rep).IDs() {
+			b.Extend(fsp.State(blk), f.Vars().Name(id))
+		}
+	}
+	q, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, mapping, nil
+}
+
+// QuotientWeak returns a process observationally equivalent to f with one
+// state per ≈-class. Arcs are derived from the saturated FSP of a class
+// representative: weak sigma-derivatives become sigma-arcs and weak epsilon
+// derivatives that leave the class become tau-arcs. The result is
+// tau-minimal in the sense that tau arcs only connect distinct classes.
+func QuotientWeak(f *fsp.FSP, opts ...Option) (*fsp.FSP, []fsp.State, error) {
+	sat, eps, err := fsp.Saturate(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("weak quotient: %w", err)
+	}
+	p := StrongPartition(sat, opts...)
+
+	b := fsp.NewBuilderWith(f.Name()+"/≈", f.Alphabet().Clone(), f.Vars().Clone())
+	b.AddStates(p.NumBlocks())
+	b.SetStart(fsp.State(p.Block(int32(f.Start()))))
+
+	reps := make([]fsp.State, p.NumBlocks())
+	for i := range reps {
+		reps[i] = fsp.None
+	}
+	mapping := make([]fsp.State, f.NumStates())
+	for s := 0; s < f.NumStates(); s++ {
+		blk := p.Block(int32(s))
+		mapping[s] = fsp.State(blk)
+		if reps[blk] == fsp.None {
+			reps[blk] = fsp.State(s)
+		}
+	}
+	for blk, rep := range reps {
+		for _, a := range sat.Arcs(rep) {
+			toBlk := fsp.State(p.Block(int32(a.To)))
+			if a.Act == eps {
+				// Weak epsilon derivative: a tau edge in the quotient, but
+				// only when it leaves the class (self tau loops are
+				// observationally vacuous).
+				if toBlk != fsp.State(blk) {
+					b.Arc(fsp.State(blk), fsp.Tau, toBlk)
+				}
+				continue
+			}
+			b.ArcName(fsp.State(blk), sat.Alphabet().Name(a.Act), toBlk)
+		}
+		for _, id := range f.Ext(rep).IDs() {
+			b.Extend(fsp.State(blk), f.Vars().Name(id))
+		}
+	}
+	q, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("weak quotient: %w", err)
+	}
+	return q, mapping, nil
+}

@@ -1,0 +1,352 @@
+// Package failures implements the failure semantics of Brookes, Hoare &
+// Roscoe as used in Section 5 of the paper. For a state p of a restricted
+// FSP,
+//
+//	failures(p) = {(s, Z) : s ∈ Sigma*, Z ⊆ Sigma,
+//	               ∃p' : p ==s=> p' and ∀z ∈ Z : not (p' ==z=>)}
+//
+// and p ≡ q iff failures(p) = failures(q). Since for each trace s the
+// refusal sets form a downward-closed family, failures(p) is fully
+// described by, per trace, the antichain of maximal refusals — the
+// complements of the weak initial sets of the s-derivatives. The decider
+// explores pairs of derivative subsets for both processes simultaneously
+// and compares these antichains; it is exponential in the worst case, as it
+// must be (Theorem 5.1: failure equivalence is PSPACE-complete already for
+// restricted observable FSPs with |Sigma| = 2).
+package failures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ccs/internal/fsp"
+)
+
+// maxAlphabet bounds |Sigma| so refusal sets fit in a 64-bit mask.
+const maxAlphabet = 64
+
+// RefusalSet is a set of observable actions represented as a bitmask over
+// the observable alphabet (bit i = the i-th observable action, i.e. Action
+// i+1).
+type RefusalSet uint64
+
+// Has reports whether observable action a (an fsp.Action > 0) is refused.
+func (r RefusalSet) Has(a fsp.Action) bool { return r&(1<<uint(a-1)) != 0 }
+
+// With returns the set extended with observable action a.
+func (r RefusalSet) With(a fsp.Action) RefusalSet { return r | 1<<uint(a-1) }
+
+// SubsetOf reports whether r ⊆ s.
+func (r RefusalSet) SubsetOf(s RefusalSet) bool { return r&^s == 0 }
+
+// Format renders the refusal set using the alphabet's action names.
+func (r RefusalSet) Format(a *fsp.Alphabet) string {
+	var names []string
+	for _, act := range a.Observable() {
+		if r.Has(act) {
+			names = append(names, a.Name(act))
+		}
+	}
+	return "{" + strings.Join(names, ",") + "}"
+}
+
+// Failure is one element of the failures set: a trace and a refusal set.
+type Failure struct {
+	Trace   []fsp.Action
+	Refusal RefusalSet
+}
+
+// FormatTrace renders a trace using the alphabet's action names.
+func FormatTrace(trace []fsp.Action, a *fsp.Alphabet) string {
+	if len(trace) == 0 {
+		return "ε"
+	}
+	names := make([]string, len(trace))
+	for i, act := range trace {
+		names[i] = a.Name(act)
+	}
+	return strings.Join(names, ".")
+}
+
+// Witness explains a failure-equivalence verdict of "different": the
+// failure pair belongs to exactly one of the two processes.
+type Witness struct {
+	Failure Failure
+	// InFirst is true when the failure belongs to the first process only.
+	InFirst bool
+	// Alphabet is the (possibly harmonized) alphabet the witness's actions
+	// and refusal sets are expressed in; use it for rendering.
+	Alphabet *fsp.Alphabet
+}
+
+// Format renders the witness failure pair as "(trace, refusal)".
+func (w *Witness) Format() string {
+	return "(" + FormatTrace(w.Failure.Trace, w.Alphabet) + ", " +
+		w.Failure.Refusal.Format(w.Alphabet) + ")"
+}
+
+// checkRestricted enforces the model the paper defines ≡ for.
+func checkRestricted(f *fsp.FSP) error {
+	cls := fsp.Classify(f)
+	if !cls.Restricted {
+		return fmt.Errorf("failures: process %q is not restricted (every state must be accepting)", f.Name())
+	}
+	if f.Alphabet().NumObservable() > maxAlphabet {
+		return fmt.Errorf("failures: alphabet has %d observable actions, max %d", f.Alphabet().NumObservable(), maxAlphabet)
+	}
+	return nil
+}
+
+// semantics precomputes weak machinery for one FSP.
+type semantics struct {
+	f      *fsp.FSP
+	clo    fsp.Closure
+	numObs int
+	// weakInitials[s] = the observable actions s can weakly perform.
+	weakInitials []RefusalSet // stored as "can do" masks; refusal = complement
+	full         RefusalSet
+}
+
+func newSemantics(f *fsp.FSP) *semantics {
+	clo := fsp.TauClosure(f)
+	numObs := f.Alphabet().NumObservable()
+	sem := &semantics{f: f, clo: clo, numObs: numObs}
+	for i := 0; i < numObs; i++ {
+		sem.full |= 1 << uint(i)
+	}
+	sem.weakInitials = make([]RefusalSet, f.NumStates())
+	for s := 0; s < f.NumStates(); s++ {
+		var can RefusalSet
+		for _, p := range clo.Of(fsp.State(s)) {
+			for _, a := range f.Initials(p) {
+				can = can.With(a)
+			}
+		}
+		sem.weakInitials[s] = can
+	}
+	return sem
+}
+
+// maxRefusals returns the antichain of maximal refusal sets over a
+// derivative set: { Sigma \ weakInitials(p') : p' ∈ set }, maximal under ⊆,
+// sorted for canonical comparison.
+func (sem *semantics) maxRefusals(set []fsp.State) []RefusalSet {
+	raw := make([]RefusalSet, 0, len(set))
+	for _, s := range set {
+		raw = append(raw, sem.full&^sem.weakInitials[s])
+	}
+	// Keep maximal elements only.
+	var out []RefusalSet
+	for i, r := range raw {
+		maximal := true
+		for j, s := range raw {
+			if i != j && r != s && r.SubsetOf(s) {
+				maximal = false
+				break
+			}
+			if i > j && r == s {
+				maximal = false // dedup equal sets, keep first
+				break
+			}
+		}
+		if maximal {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// step advances a derivative set by one observable action (closure-closed
+// in, closure-closed out).
+func (sem *semantics) step(set []fsp.State, sigma fsp.Action) []fsp.State {
+	return fsp.WeakDestSet(sem.f, sem.clo, set, sigma)
+}
+
+func sameRefusals(a, b []RefusalSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func stateKey(set []fsp.State) string {
+	buf := make([]byte, 0, 4*len(set))
+	for _, s := range set {
+		buf = append(buf, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	}
+	return string(buf)
+}
+
+// EquivalentStates decides failures(p) = failures(q) for states p, q of the
+// restricted FSPs f and g (which may be the same process). On inequivalence
+// the returned witness carries a failure pair present on exactly one side.
+func EquivalentStates(f *fsp.FSP, p fsp.State, g *fsp.FSP, q fsp.State) (bool, *Witness, error) {
+	if err := checkRestricted(f); err != nil {
+		return false, nil, err
+	}
+	if err := checkRestricted(g); err != nil {
+		return false, nil, err
+	}
+	if !f.Alphabet().Equal(g.Alphabet()) {
+		// Harmonize by disjoint union; simplest correct path.
+		u, off, err := fsp.DisjointUnion(f, g)
+		if err != nil {
+			return false, nil, fmt.Errorf("failures: %w", err)
+		}
+		return EquivalentStates(u, p, u, off+q)
+	}
+
+	semF := newSemantics(f)
+	semG := newSemantics(g)
+
+	type node struct {
+		sa, sb []fsp.State
+		parent int
+		act    fsp.Action
+	}
+	trace := func(queue []node, i int) []fsp.Action {
+		var rev []fsp.Action
+		for queue[i].parent >= 0 {
+			rev = append(rev, queue[i].act)
+			i = queue[i].parent
+		}
+		for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+			rev[l], rev[r] = rev[r], rev[l]
+		}
+		return rev
+	}
+
+	seen := map[string]bool{}
+	queue := []node{{sa: semF.clo.Of(p), sb: semG.clo.Of(q), parent: -1}}
+	seen[stateKey(queue[0].sa)+"|"+stateKey(queue[0].sb)] = true
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		ra := semF.maxRefusals(cur.sa)
+		rb := semG.maxRefusals(cur.sb)
+		if !sameRefusals(ra, rb) {
+			w := refusalWitness(ra, rb)
+			w.Failure.Trace = trace(queue, head)
+			w.Alphabet = f.Alphabet()
+			return false, w, nil
+		}
+		for _, sigma := range f.Alphabet().Observable() {
+			na := semF.step(cur.sa, sigma)
+			nb := semG.step(cur.sb, sigma)
+			if len(na) == 0 && len(nb) == 0 {
+				continue
+			}
+			if len(na) == 0 || len(nb) == 0 {
+				// The trace exists on one side only: (trace, ∅) is a
+				// failure of that side alone.
+				w := &Witness{
+					Failure:  Failure{Trace: append(trace(queue, head), sigma)},
+					InFirst:  len(na) != 0,
+					Alphabet: f.Alphabet(),
+				}
+				return false, w, nil
+			}
+			k := stateKey(na) + "|" + stateKey(nb)
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, node{sa: na, sb: nb, parent: head, act: sigma})
+			}
+		}
+	}
+	return true, nil, nil
+}
+
+// refusalWitness finds a refusal set in one antichain's downward closure
+// but not the other's.
+func refusalWitness(ra, rb []RefusalSet) *Witness {
+	within := func(r RefusalSet, anti []RefusalSet) bool {
+		for _, m := range anti {
+			if r.SubsetOf(m) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range ra {
+		if !within(r, rb) {
+			return &Witness{Failure: Failure{Refusal: r}, InFirst: true}
+		}
+	}
+	for _, r := range rb {
+		if !within(r, ra) {
+			return &Witness{Failure: Failure{Refusal: r}, InFirst: false}
+		}
+	}
+	// Unreachable: antichains differ, so some maximal element is missing
+	// from the other side's closure.
+	return &Witness{}
+}
+
+// Equivalent decides failure equivalence of the start states of f and g.
+func Equivalent(f, g *fsp.FSP) (bool, *Witness, error) {
+	return EquivalentStates(f, f.Start(), g, g.Start())
+}
+
+// Enumerate lists all failures of p with traces up to maxLen, maximal
+// refusals only, in BFS trace order. Intended for displays, tests and
+// brute-force cross-validation on small processes.
+func Enumerate(f *fsp.FSP, p fsp.State, maxLen int) ([]Failure, error) {
+	if err := checkRestricted(f); err != nil {
+		return nil, err
+	}
+	sem := newSemantics(f)
+	type node struct {
+		set   []fsp.State
+		trace []fsp.Action
+	}
+	var out []Failure
+	queue := []node{{set: sem.clo.Of(p)}}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, r := range sem.maxRefusals(cur.set) {
+			out = append(out, Failure{Trace: cur.trace, Refusal: r})
+		}
+		if len(cur.trace) == maxLen {
+			continue
+		}
+		for _, sigma := range f.Alphabet().Observable() {
+			next := sem.step(cur.set, sigma)
+			if len(next) == 0 {
+				continue
+			}
+			nt := make([]fsp.Action, len(cur.trace)+1)
+			copy(nt, cur.trace)
+			nt[len(cur.trace)] = sigma
+			queue = append(queue, node{set: next, trace: nt})
+		}
+	}
+	return out, nil
+}
+
+// Has reports whether (trace, refusal) ∈ failures(p), by direct simulation.
+func Has(f *fsp.FSP, p fsp.State, fail Failure) (bool, error) {
+	if err := checkRestricted(f); err != nil {
+		return false, err
+	}
+	sem := newSemantics(f)
+	set := sem.clo.Of(p)
+	for _, sigma := range fail.Trace {
+		set = sem.step(set, sigma)
+		if len(set) == 0 {
+			return false, nil
+		}
+	}
+	for _, s := range set {
+		refusable := sem.full &^ sem.weakInitials[s]
+		if fail.Refusal.SubsetOf(refusable) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

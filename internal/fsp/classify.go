@@ -1,0 +1,188 @@
+package fsp
+
+// Model enumerates the FSP model hierarchy of Fig. 1a / Table I.
+type Model int
+
+// The models of Table I, from most general to most specialized.
+const (
+	General Model = iota + 1
+	Observable
+	Standard
+	Deterministic
+	Restricted
+	RestrictedObservable
+	RestrictedObservableUnary
+	StandardObservable
+	StandardObservableUnary
+	FiniteTree
+)
+
+var modelNames = map[Model]string{
+	General:                   "general",
+	Observable:                "observable",
+	Standard:                  "standard",
+	Deterministic:             "deterministic",
+	Restricted:                "restricted",
+	RestrictedObservable:      "restricted observable",
+	RestrictedObservableUnary: "r.o.u.",
+	StandardObservable:        "standard observable",
+	StandardObservableUnary:   "s.o.u.",
+	FiniteTree:                "finite tree",
+}
+
+func (m Model) String() string {
+	if s, ok := modelNames[m]; ok {
+		return s
+	}
+	return "unknown model"
+}
+
+// Class records which structural predicates an FSP satisfies. Membership in
+// each Table I model is derived from these predicates by Class.Is.
+type Class struct {
+	// Observable: no tau transitions.
+	Observable bool
+	// Standard: every extension is either empty or exactly {x}, and the
+	// variable table carries no variable other than x. A standard FSP is a
+	// classical NFA with empty moves.
+	Standard bool
+	// Restricted: standard with every state accepting (E(p) = {x} for all p).
+	Restricted bool
+	// Deterministic: observable with exactly one transition per state per
+	// observable action.
+	Deterministic bool
+	// Unary: the observable alphabet has exactly one action.
+	Unary bool
+	// Tree: the underlying directed graph is a tree rooted at the start
+	// state (every state reachable, each non-root with exactly one incoming
+	// transition, root with none).
+	Tree bool
+}
+
+// Classify computes the structural predicates of f in one pass over Delta.
+func Classify(f *FSP) Class {
+	var c Class
+	c.Observable = true
+	c.Standard = true
+	c.Restricted = true
+	c.Unary = f.alphabet.NumObservable() == 1
+
+	xID, hasX := f.vars.Lookup(StandardVar)
+	acceptSet := EmptyVars
+	if hasX {
+		acceptSet = EmptyVars.With(xID)
+	}
+	for s := 0; s < f.NumStates(); s++ {
+		e := f.ext[State(s)]
+		if e != EmptyVars && e != acceptSet {
+			c.Standard = false
+			c.Restricted = false
+		}
+		if e != acceptSet {
+			c.Restricted = false
+		}
+		for _, a := range f.adj[s] {
+			if a.Act == Tau {
+				c.Observable = false
+			}
+		}
+	}
+	if !hasX && f.NumStates() > 0 {
+		// Without the variable x no state can be accepting; the process is
+		// standard (all extensions empty) but not restricted.
+		c.Restricted = false
+	}
+
+	c.Deterministic = c.Observable && isDeterministic(f)
+	c.Tree = isTree(f)
+	return c
+}
+
+// isDeterministic reports whether every state has exactly one transition for
+// each observable symbol, per the paper's deterministic model.
+func isDeterministic(f *FSP) bool {
+	numObs := f.alphabet.NumObservable()
+	for s := 0; s < f.NumStates(); s++ {
+		arcs := f.adj[s]
+		if len(arcs) != numObs {
+			return false
+		}
+		for i, a := range arcs {
+			// Arcs are sorted by action; exactly one per observable symbol
+			// means actions 1..numObs each appear once.
+			if a.Act != Action(i+1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isTree reports whether the underlying digraph is a tree rooted at start.
+func isTree(f *FSP) bool {
+	indeg := make([]int, f.NumStates())
+	for s := 0; s < f.NumStates(); s++ {
+		for _, a := range f.adj[s] {
+			indeg[a.To]++
+		}
+	}
+	if indeg[f.start] != 0 {
+		return false
+	}
+	for s, d := range indeg {
+		if State(s) != f.start && d != 1 {
+			return false
+		}
+	}
+	for _, ok := range f.Reachable() {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Is reports whether the class satisfies model m.
+func (c Class) Is(m Model) bool {
+	switch m {
+	case General:
+		return true
+	case Observable:
+		return c.Observable
+	case Standard:
+		return c.Standard
+	case Deterministic:
+		return c.Deterministic
+	case Restricted:
+		return c.Restricted
+	case RestrictedObservable:
+		return c.Restricted && c.Observable
+	case RestrictedObservableUnary:
+		return c.Restricted && c.Observable && c.Unary
+	case StandardObservable:
+		return c.Standard && c.Observable
+	case StandardObservableUnary:
+		return c.Standard && c.Observable && c.Unary
+	case FiniteTree:
+		return c.Restricted && c.Tree
+	default:
+		return false
+	}
+}
+
+// Models returns every Table I model that the class belongs to, most general
+// first.
+func (c Class) Models() []Model {
+	all := []Model{
+		General, Observable, Standard, Deterministic, Restricted,
+		RestrictedObservable, RestrictedObservableUnary,
+		StandardObservable, StandardObservableUnary, FiniteTree,
+	}
+	var out []Model
+	for _, m := range all {
+		if c.Is(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package fsp
+
+import "testing"
+
+func TestClassifyTableI(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() *FSP
+		is    []Model
+		isNot []Model
+	}{
+		{
+			name: "general with tau",
+			build: func() *FSP {
+				b := NewBuilder("")
+				b.AddStates(2)
+				b.ArcName(0, TauName, 1)
+				b.Extend(1, "y")
+				return b.MustBuild()
+			},
+			is:    []Model{General},
+			isNot: []Model{Observable, Standard, Restricted},
+		},
+		{
+			name: "standard NFA with empty moves",
+			build: func() *FSP {
+				b := NewBuilder("")
+				b.AddStates(3)
+				b.ArcName(0, TauName, 1)
+				b.ArcName(1, "a", 2)
+				b.Accept(2)
+				return b.MustBuild()
+			},
+			is:    []Model{General, Standard},
+			isNot: []Model{Observable, Restricted, Deterministic},
+		},
+		{
+			name: "restricted observable unary",
+			build: func() *FSP {
+				b := NewBuilder("")
+				b.AddStates(2)
+				b.ArcName(0, "a", 1)
+				b.Accept(0)
+				b.Accept(1)
+				return b.MustBuild()
+			},
+			is: []Model{General, Observable, Standard, Restricted,
+				RestrictedObservable, RestrictedObservableUnary,
+				StandardObservable, StandardObservableUnary, FiniteTree},
+			isNot: []Model{Deterministic},
+		},
+		{
+			name: "deterministic",
+			build: func() *FSP {
+				b := NewBuilder("")
+				b.AddStates(2)
+				b.ArcName(0, "a", 1)
+				b.ArcName(0, "b", 0)
+				b.ArcName(1, "a", 0)
+				b.ArcName(1, "b", 1)
+				b.Accept(1)
+				return b.MustBuild()
+			},
+			is:    []Model{General, Observable, Standard, Deterministic, StandardObservable},
+			isNot: []Model{Restricted, FiniteTree},
+		},
+		{
+			name: "missing transition breaks determinism",
+			build: func() *FSP {
+				b := NewBuilder("")
+				b.AddStates(2)
+				b.ArcName(0, "a", 1)
+				b.ArcName(0, "b", 0)
+				b.ArcName(1, "a", 0)
+				return b.MustBuild()
+			},
+			is:    []Model{Observable},
+			isNot: []Model{Deterministic},
+		},
+		{
+			name: "finite tree",
+			build: func() *FSP {
+				b := NewBuilder("")
+				b.AddStates(4)
+				b.ArcName(0, "a", 1)
+				b.ArcName(0, "b", 2)
+				b.ArcName(1, "c", 3)
+				for s := State(0); s < 4; s++ {
+					b.Accept(s)
+				}
+				return b.MustBuild()
+			},
+			is:    []Model{Restricted, FiniteTree},
+			isNot: []Model{Deterministic},
+		},
+		{
+			name: "cycle is not a tree",
+			build: func() *FSP {
+				b := NewBuilder("")
+				b.AddStates(2)
+				b.ArcName(0, "a", 1)
+				b.ArcName(1, "a", 0)
+				b.Accept(0)
+				b.Accept(1)
+				return b.MustBuild()
+			},
+			is:    []Model{RestrictedObservable},
+			isNot: []Model{FiniteTree},
+		},
+		{
+			name: "non-standard extension variable",
+			build: func() *FSP {
+				b := NewBuilder("")
+				b.AddStates(1)
+				b.Extend(0, "x", "y")
+				return b.MustBuild()
+			},
+			is:    []Model{General, Observable},
+			isNot: []Model{Standard, Restricted},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Classify(tc.build())
+			for _, m := range tc.is {
+				if !c.Is(m) {
+					t.Errorf("should be %v (class %+v)", m, c)
+				}
+			}
+			for _, m := range tc.isNot {
+				if c.Is(m) {
+					t.Errorf("should NOT be %v (class %+v)", m, c)
+				}
+			}
+		})
+	}
+}
+
+func TestModelsListing(t *testing.T) {
+	b := NewBuilder("")
+	b.AddStates(1)
+	b.Accept(0)
+	f := b.MustBuild()
+	models := Classify(f).Models()
+	if len(models) == 0 || models[0] != General {
+		t.Fatalf("Models() = %v", models)
+	}
+	for _, m := range models {
+		if m.String() == "unknown model" {
+			t.Errorf("model %d has no name", m)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if General.String() != "general" {
+		t.Errorf("General.String() = %q", General.String())
+	}
+	if Model(999).String() != "unknown model" {
+		t.Errorf("unknown model name wrong")
+	}
+}

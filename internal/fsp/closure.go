@@ -1,0 +1,198 @@
+package fsp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EpsilonName is the action name used for the empty-string relation ==eps=>
+// when an FSP is saturated (Theorem 4.1a). It is chosen to be outside any
+// reasonable user alphabet; Saturate fails if the name is already taken.
+const EpsilonName = "ε"
+
+// Closure holds the reflexive-transitive tau-closure of an FSP: for each
+// state p, the sorted set of states reachable from p by zero or more tau
+// transitions (p ==eps=> p' in the notation of Section 2.1).
+type Closure struct {
+	sets [][]State
+}
+
+// TauClosure computes the tau-closure by a BFS from every state over the
+// tau-labelled subgraph. This replaces the paper's matrix-multiplication
+// transitive closure (O(n^2.376)) with an O(n(n+m)) sparse traversal; see
+// DESIGN.md section 4.
+func TauClosure(f *FSP) Closure {
+	n := f.NumStates()
+	tauAdj := make([][]State, n)
+	for s := 0; s < n; s++ {
+		for _, a := range f.adj[s] {
+			if a.Act == Tau {
+				tauAdj[s] = append(tauAdj[s], a.To)
+			}
+		}
+	}
+	sets := make([][]State, n)
+	seen := make([]bool, n)
+	queue := make([]State, 0, n)
+	for s := 0; s < n; s++ {
+		queue = queue[:0]
+		queue = append(queue, State(s))
+		seen[s] = true
+		for i := 0; i < len(queue); i++ {
+			for _, t := range tauAdj[queue[i]] {
+				if !seen[t] {
+					seen[t] = true
+					queue = append(queue, t)
+				}
+			}
+		}
+		set := make([]State, len(queue))
+		copy(set, queue)
+		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		sets[s] = set
+		for _, t := range queue {
+			seen[t] = false
+		}
+	}
+	return Closure{sets: sets}
+}
+
+// Of returns the tau-closure of s in increasing state order. The slice is
+// shared; callers must not modify it.
+func (c Closure) Of(s State) []State { return c.sets[s] }
+
+// ExpandSet returns the union of the tau-closures of the given states,
+// sorted and deduplicated.
+func (c Closure) ExpandSet(set []State) []State {
+	mark := map[State]struct{}{}
+	for _, s := range set {
+		for _, t := range c.sets[s] {
+			mark[t] = struct{}{}
+		}
+	}
+	out := make([]State, 0, len(mark))
+	for s := range mark {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Saturate builds the observable FSP P-hat of Theorem 4.1(a): it has the
+// same states and extensions as f, its alphabet is Sigma plus a fresh
+// epsilon action, and its transitions are the weak derivatives
+//
+//	p --sigma--> q  in P-hat   iff   p ==sigma=> q in f   (sigma in Sigma)
+//	p --eps-->   q  in P-hat   iff   p ==eps=>   q in f   (tau-closure)
+//
+// Strong equivalence on P-hat coincides with observational equivalence on f
+// (Propositions 2.2.1 and 2.2.2). The epsilon Action used is returned so
+// callers can distinguish it from real alphabet members.
+func Saturate(f *FSP) (*FSP, Action, error) {
+	if _, taken := f.alphabet.Lookup(EpsilonName); taken {
+		return nil, 0, fmt.Errorf("alphabet already contains %q; cannot saturate", EpsilonName)
+	}
+	clo := TauClosure(f)
+	alpha := f.alphabet.Clone()
+	eps := alpha.Intern(EpsilonName)
+
+	n := f.NumStates()
+	b := NewBuilderWith(f.name+"^", alpha, f.vars)
+	b.AddStates(n)
+	b.SetStart(f.start)
+	for s := 0; s < n; s++ {
+		for _, id := range f.ext[s].IDs() {
+			b.Extend(State(s), f.vars.Name(id))
+		}
+	}
+
+	// mark is scratch for per-(state,action) destination sets.
+	mark := make([]bool, n)
+	var dests []State
+	for s := 0; s < n; s++ {
+		// Epsilon arcs: the closure itself (reflexive, so every state has
+		// at least the self-loop).
+		for _, t := range clo.Of(State(s)) {
+			b.Arc(State(s), eps, t)
+		}
+		// For each observable sigma: closure(s) --sigma--> then closure.
+		for _, sigma := range f.alphabet.Observable() {
+			dests = dests[:0]
+			for _, p := range clo.Of(State(s)) {
+				for _, q := range f.Dest(p, sigma) {
+					for _, r := range clo.Of(q) {
+						if !mark[r] {
+							mark[r] = true
+							dests = append(dests, r)
+						}
+					}
+				}
+			}
+			for _, d := range dests {
+				b.Arc(State(s), sigma, d)
+				mark[d] = false
+			}
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, eps, nil
+}
+
+// WeakDest returns the set of sigma-weak-derivatives {q : from ==sigma=> q}
+// for a single observable action, computed from a precomputed closure.
+func WeakDest(f *FSP, clo Closure, from State, sigma Action) []State {
+	mark := map[State]struct{}{}
+	for _, p := range clo.Of(from) {
+		for _, q := range f.Dest(p, sigma) {
+			for _, r := range clo.Of(q) {
+				mark[r] = struct{}{}
+			}
+		}
+	}
+	out := make([]State, 0, len(mark))
+	for s := range mark {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WeakDestSet is WeakDest lifted to a set of source states.
+func WeakDestSet(f *FSP, clo Closure, from []State, sigma Action) []State {
+	mark := map[State]struct{}{}
+	for _, s := range from {
+		for _, p := range clo.Of(s) {
+			for _, q := range f.Dest(p, sigma) {
+				for _, r := range clo.Of(q) {
+					mark[r] = struct{}{}
+				}
+			}
+		}
+	}
+	out := make([]State, 0, len(mark))
+	for s := range mark {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SDerivatives returns the s-derivatives of from: all states p' such that
+// from ==word=> p', where word ranges over observable actions (Section 2.1).
+// The empty word yields the tau-closure of from.
+func SDerivatives(f *FSP, from State, word []Action) []State {
+	clo := TauClosure(f)
+	cur := clo.Of(from)
+	set := make([]State, len(cur))
+	copy(set, cur)
+	for _, sigma := range word {
+		set = WeakDestSet(f, clo, set, sigma)
+		if len(set) == 0 {
+			return nil
+		}
+	}
+	return set
+}

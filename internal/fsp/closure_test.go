@@ -1,0 +1,130 @@
+package fsp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildTauChain returns 0 --tau--> 1 --tau--> 2 --a--> 3, with 3 accepting.
+func buildTauChain(t *testing.T) *FSP {
+	t.Helper()
+	b := NewBuilder("tauchain")
+	b.AddStates(4)
+	b.ArcName(0, TauName, 1)
+	b.ArcName(1, TauName, 2)
+	b.ArcName(2, "a", 3)
+	b.Accept(3)
+	return b.MustBuild()
+}
+
+func TestTauClosure(t *testing.T) {
+	f := buildTauChain(t)
+	clo := TauClosure(f)
+	tests := []struct {
+		s    State
+		want []State
+	}{
+		{0, []State{0, 1, 2}},
+		{1, []State{1, 2}},
+		{2, []State{2}},
+		{3, []State{3}},
+	}
+	for _, tc := range tests {
+		if got := clo.Of(tc.s); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("closure(%d) = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestTauClosureCycle(t *testing.T) {
+	b := NewBuilder("")
+	b.AddStates(3)
+	b.ArcName(0, TauName, 1)
+	b.ArcName(1, TauName, 0)
+	b.ArcName(1, TauName, 2)
+	f := b.MustBuild()
+	clo := TauClosure(f)
+	if got := clo.Of(0); !reflect.DeepEqual(got, []State{0, 1, 2}) {
+		t.Errorf("closure(0) = %v", got)
+	}
+	if got := clo.Of(1); !reflect.DeepEqual(got, []State{0, 1, 2}) {
+		t.Errorf("closure(1) = %v", got)
+	}
+}
+
+func TestExpandSet(t *testing.T) {
+	f := buildTauChain(t)
+	clo := TauClosure(f)
+	got := clo.ExpandSet([]State{1, 3})
+	if !reflect.DeepEqual(got, []State{1, 2, 3}) {
+		t.Errorf("ExpandSet = %v", got)
+	}
+}
+
+func TestWeakDest(t *testing.T) {
+	f := buildTauChain(t)
+	clo := TauClosure(f)
+	a, _ := f.Alphabet().Lookup("a")
+	// 0 ==a=> 3 through two taus.
+	if got := WeakDest(f, clo, 0, a); !reflect.DeepEqual(got, []State{3}) {
+		t.Errorf("WeakDest(0,a) = %v, want [3]", got)
+	}
+	if got := WeakDest(f, clo, 3, a); len(got) != 0 {
+		t.Errorf("WeakDest(3,a) = %v, want empty", got)
+	}
+}
+
+func TestSDerivatives(t *testing.T) {
+	f := buildTauChain(t)
+	a, _ := f.Alphabet().Lookup("a")
+	if got := SDerivatives(f, 0, nil); !reflect.DeepEqual(got, []State{0, 1, 2}) {
+		t.Errorf("eps derivatives = %v", got)
+	}
+	if got := SDerivatives(f, 0, []Action{a}); !reflect.DeepEqual(got, []State{3}) {
+		t.Errorf("a derivatives = %v", got)
+	}
+	if got := SDerivatives(f, 0, []Action{a, a}); got != nil {
+		t.Errorf("aa derivatives = %v, want nil", got)
+	}
+}
+
+func TestSaturate(t *testing.T) {
+	f := buildTauChain(t)
+	sat, eps, err := Saturate(f)
+	if err != nil {
+		t.Fatalf("Saturate: %v", err)
+	}
+	if sat.NumStates() != f.NumStates() {
+		t.Fatalf("saturation changed state count")
+	}
+	cls := Classify(sat)
+	if !cls.Observable {
+		t.Errorf("saturated FSP must be observable (no tau arcs)")
+	}
+	a, _ := sat.Alphabet().Lookup("a")
+	// In P-hat, 0 --a--> 3 directly.
+	if got := sat.Dest(0, a); !reflect.DeepEqual(got, []State{3}) {
+		t.Errorf("sat.Dest(0,a) = %v, want [3]", got)
+	}
+	// Epsilon arcs mirror the closure, including the reflexive self-loop.
+	if got := sat.Dest(0, eps); !reflect.DeepEqual(got, []State{0, 1, 2}) {
+		t.Errorf("sat.Dest(0,eps) = %v", got)
+	}
+	if got := sat.Dest(3, eps); !reflect.DeepEqual(got, []State{3}) {
+		t.Errorf("sat.Dest(3,eps) = %v", got)
+	}
+	// Extensions preserved.
+	if !sat.Accepting(3) || sat.Accepting(0) {
+		t.Errorf("saturation lost extensions")
+	}
+}
+
+func TestSaturateRejectsEpsilonCollision(t *testing.T) {
+	b := NewBuilder("")
+	b.AddStates(2)
+	b.ArcName(0, EpsilonName, 1)
+	f := b.MustBuild()
+	if _, _, err := Saturate(f); err == nil {
+		t.Error("expected error for alphabet containing the epsilon name")
+	}
+}

@@ -1,0 +1,80 @@
+package fsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDivergentBasics(t *testing.T) {
+	// 0 --tau--> 1 <--tau--> 2 (cycle), 3 --a--> 0, 4 isolated,
+	// 5 --tau--> 4 (no cycle), 6 --tau--> 6 (self-loop).
+	b := NewBuilder("")
+	b.AddStates(7)
+	b.ArcName(0, TauName, 1)
+	b.ArcName(1, TauName, 2)
+	b.ArcName(2, TauName, 1)
+	b.ArcName(3, "a", 0)
+	b.ArcName(5, TauName, 4)
+	b.ArcName(6, TauName, 6)
+	f := b.MustBuild()
+	div := Divergent(f)
+	want := []bool{true, true, true, false, false, false, true}
+	for s, w := range want {
+		if div[s] != w {
+			t.Errorf("Divergent[%d] = %v, want %v", s, div[s], w)
+		}
+	}
+}
+
+func TestDivergentIgnoresObservableCycles(t *testing.T) {
+	b := NewBuilder("")
+	b.AddStates(2)
+	b.ArcName(0, "a", 1)
+	b.ArcName(1, "a", 0)
+	f := b.MustBuild()
+	for s, d := range Divergent(f) {
+		if d {
+			t.Errorf("state %d divergent through observable cycle", s)
+		}
+	}
+}
+
+// TestDivergentAgainstBruteForce cross-validates the SCC-based
+// implementation with a path-exploration oracle on random processes.
+func TestDivergentAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		b := NewBuilder("")
+		b.AddStates(n)
+		arcs := rng.Intn(2 * n)
+		for i := 0; i < arcs; i++ {
+			act := "a"
+			if rng.Intn(2) == 0 {
+				act = TauName
+			}
+			b.ArcName(State(rng.Intn(n)), act, State(rng.Intn(n)))
+		}
+		f := b.MustBuild()
+		got := Divergent(f)
+		clo := TauClosure(f)
+		for s := 0; s < n; s++ {
+			// Oracle: s diverges iff some state in its closure has a tau
+			// move back into a state whose closure contains it (a lasso).
+			want := false
+			for _, u := range clo.Of(State(s)) {
+				for _, to := range f.Dest(u, Tau) {
+					for _, back := range clo.Of(to) {
+						if back == u {
+							want = true
+						}
+					}
+				}
+			}
+			if got[s] != want {
+				t.Fatalf("trial %d: state %d divergent=%v, oracle=%v\n%s",
+					trial, s, got[s], want, FormatString(f))
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package fsp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders f as a Graphviz digraph. The start state is drawn with a
+// double circle, extensions appear in the node label, and tau arcs are
+// dashed — mirroring the figure conventions of the paper.
+func WriteDOT(w io.Writer, f *FSP) error {
+	bw := bufio.NewWriter(w)
+	name := f.name
+	if name == "" {
+		name = "fsp"
+	}
+	fmt.Fprintf(bw, "digraph %q {\n", name)
+	fmt.Fprintf(bw, "  rankdir=LR;\n  node [shape=circle];\n")
+	for s := 0; s < f.NumStates(); s++ {
+		attrs := []string{fmt.Sprintf("label=%q", nodeLabel(f, State(s)))}
+		if State(s) == f.start {
+			attrs = append(attrs, "shape=doublecircle")
+		}
+		fmt.Fprintf(bw, "  s%d [%s];\n", s, strings.Join(attrs, ", "))
+	}
+	for s := 0; s < f.NumStates(); s++ {
+		for _, a := range f.adj[s] {
+			if a.Act == Tau {
+				fmt.Fprintf(bw, "  s%d -> s%d [label=%q, style=dashed];\n", s, a.To, "τ")
+			} else {
+				fmt.Fprintf(bw, "  s%d -> s%d [label=%q];\n", s, a.To, f.alphabet.Name(a.Act))
+			}
+		}
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func nodeLabel(f *FSP, s State) string {
+	if f.ext[s].IsEmpty() {
+		return fmt.Sprintf("%d", s)
+	}
+	return fmt.Sprintf("%d %s", s, f.ext[s].Format(f.vars))
+}
+
+// DOTString renders f as a Graphviz digraph string.
+func DOTString(f *FSP) string {
+	var sb strings.Builder
+	_ = WriteDOT(&sb, f)
+	return sb.String()
+}

@@ -1,0 +1,206 @@
+package fsp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The textual interchange format is line-oriented:
+//
+//	fsp Name              # optional header with process name
+//	alphabet a b c        # observable actions (tau is implicit)
+//	vars x                # optional variable declarations
+//	states 4              # number of states, named 0..n-1
+//	start 0               # start state (defaults to 0)
+//	ext 0 x               # extension of a state (any number of lines)
+//	arc 0 a 1             # transition lines; action "tau" is the tau move
+//
+// Blank lines and '#' comments are ignored. Declarations may appear in any
+// order except that "states" must precede "start", "ext" and "arc" lines.
+
+// Parse reads an FSP in the textual interchange format.
+func Parse(r io.Reader) (*FSP, error) {
+	var (
+		b               *Builder
+		name            string
+		scanner         = bufio.NewScanner(r)
+		lineno          int
+		pendingAlphabet []string
+		pendingVars     []string
+	)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	fail := func(format string, args ...any) (*FSP, error) {
+		return nil, fmt.Errorf("line %d: %s", lineno, fmt.Sprintf(format, args...))
+	}
+	for scanner.Scan() {
+		lineno++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "fsp":
+			if len(fields) > 1 {
+				name = fields[1]
+			}
+		case "alphabet":
+			if b != nil {
+				return fail("alphabet must precede states")
+			}
+			// Stash in name of builder later; we need the builder to exist
+			// first, so create it lazily via a pending alphabet.
+			if pendingAlphabet != nil {
+				return fail("duplicate alphabet declaration")
+			}
+			pendingAlphabet = fields[1:]
+		case "vars":
+			if b != nil {
+				return fail("vars must precede states")
+			}
+			if pendingVars != nil {
+				return fail("duplicate vars declaration")
+			}
+			pendingVars = fields[1:]
+		case "states":
+			if b != nil {
+				return fail("duplicate states declaration")
+			}
+			if len(fields) != 2 {
+				return fail("states wants one argument")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return fail("invalid state count %q", fields[1])
+			}
+			b = NewBuilder(name)
+			for _, a := range pendingAlphabet {
+				if a == TauName {
+					return fail("alphabet must not contain %q", TauName)
+				}
+				b.Action(a)
+			}
+			for _, v := range pendingVars {
+				if _, err := b.vars.Intern(v); err != nil {
+					return fail("%v", err)
+				}
+			}
+			pendingAlphabet, pendingVars = nil, nil
+			b.AddStates(n)
+		case "start":
+			if b == nil {
+				return fail("start before states")
+			}
+			s, err := parseState(fields, 1, b)
+			if err != nil {
+				return fail("%v", err)
+			}
+			b.SetStart(s)
+		case "ext":
+			if b == nil {
+				return fail("ext before states")
+			}
+			s, err := parseState(fields, 1, b)
+			if err != nil {
+				return fail("%v", err)
+			}
+			b.Extend(s, fields[2:]...)
+		case "arc":
+			if b == nil {
+				return fail("arc before states")
+			}
+			if len(fields) != 4 {
+				return fail("arc wants: arc FROM ACTION TO")
+			}
+			from, err := parseState(fields, 1, b)
+			if err != nil {
+				return fail("%v", err)
+			}
+			to, err := parseState(fields, 3, b)
+			if err != nil {
+				return fail("%v", err)
+			}
+			b.ArcName(from, fields[2], to)
+		default:
+			return fail("unknown directive %q", fields[0])
+		}
+		if b != nil && b.Err() != nil {
+			return fail("%v", b.Err())
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("no states declaration found")
+	}
+	return b.Build()
+}
+
+func parseState(fields []string, idx int, b *Builder) (State, error) {
+	if idx >= len(fields) {
+		return 0, fmt.Errorf("missing state operand")
+	}
+	n, err := strconv.Atoi(fields[idx])
+	if err != nil || n < 0 || n >= len(b.adj) {
+		return 0, fmt.Errorf("invalid state %q", fields[idx])
+	}
+	return State(n), nil
+}
+
+// ParseString is Parse over an in-memory string.
+func ParseString(s string) (*FSP, error) { return Parse(strings.NewReader(s)) }
+
+// Format writes f in the textual interchange format. The output is
+// canonical: parsing it yields an FSP equal to f up to alphabet ordering.
+func Format(w io.Writer, f *FSP) error {
+	bw := bufio.NewWriter(w)
+	if f.name != "" {
+		fmt.Fprintf(bw, "fsp %s\n", f.name)
+	}
+	if f.alphabet.NumObservable() > 0 {
+		names := make([]string, 0, f.alphabet.NumObservable())
+		for _, a := range f.alphabet.Observable() {
+			names = append(names, f.alphabet.Name(a))
+		}
+		fmt.Fprintf(bw, "alphabet %s\n", strings.Join(names, " "))
+	}
+	if f.vars.Len() > 0 {
+		fmt.Fprintf(bw, "vars %s\n", strings.Join(f.vars.names, " "))
+	}
+	fmt.Fprintf(bw, "states %d\n", f.NumStates())
+	fmt.Fprintf(bw, "start %d\n", f.start)
+	for s := 0; s < f.NumStates(); s++ {
+		e := f.ext[s]
+		if e.IsEmpty() {
+			continue
+		}
+		names := make([]string, 0, e.Len())
+		for _, id := range e.IDs() {
+			names = append(names, f.vars.Name(id))
+		}
+		sort.Strings(names)
+		fmt.Fprintf(bw, "ext %d %s\n", s, strings.Join(names, " "))
+	}
+	for s := 0; s < f.NumStates(); s++ {
+		for _, a := range f.adj[s] {
+			fmt.Fprintf(bw, "arc %d %s %d\n", s, f.alphabet.Name(a.Act), a.To)
+		}
+	}
+	return bw.Flush()
+}
+
+// FormatString renders f in the textual interchange format.
+func FormatString(f *FSP) string {
+	var sb strings.Builder
+	// strings.Builder writes never fail.
+	_ = Format(&sb, f)
+	return sb.String()
+}

@@ -1,0 +1,110 @@
+package gen
+
+import "ccs/internal/fsp"
+
+// GalleryPair is one exhibit of the Fig. 2 gallery: a pair of r.o.u.
+// processes together with the expected verdict under each equivalence
+// notion of Table II.
+type GalleryPair struct {
+	Name        string
+	P, Q        *fsp.FSP
+	Trace       bool // ≈_1: language equivalence
+	Failure     bool // ≡: failure equivalence
+	Weak        bool // ≈: observational equivalence
+	Description string
+}
+
+// Fig2Gallery instantiates the paper's Fig. 2 programme — r.o.u. FSPs
+// separating the equivalence notions pairwise — with concrete processes
+// witnessing each strict inclusion of Proposition 2.2.3:
+//
+//	≈  ⊊  ≡  ⊊  ≈_1   (on restricted processes)
+func Fig2Gallery() []GalleryPair {
+	return []GalleryPair{
+		{
+			Name:        "identical",
+			P:           Chain(2),
+			Q:           Chain(2),
+			Trace:       true,
+			Failure:     true,
+			Weak:        true,
+			Description: "a·a vs a·a: equivalent under every notion",
+		},
+		{
+			Name:        "trace-only",
+			P:           Chain(2),
+			Q:           deadBranch(),
+			Trace:       true,
+			Failure:     false,
+			Weak:        false,
+			Description: "a·a vs a·a + a: same traces, but the right process can deadlock after one a (refusal difference)",
+		},
+		{
+			Name:        "failure-not-weak",
+			P:           twoChains(),
+			Q:           twoChainsPlusMixed(),
+			Trace:       true,
+			Failure:     true,
+			Weak:        false,
+			Description: "a³+a² vs a³+a²+a(a+a²): identical per-trace refusals, but the extra branch's derivative mixes dead and live futures, breaking ≈_2",
+		},
+		{
+			Name:        "different-traces",
+			P:           Chain(1),
+			Q:           Chain(2),
+			Trace:       false,
+			Failure:     false,
+			Weak:        false,
+			Description: "a vs a·a: separated already by ≈_1",
+		},
+	}
+}
+
+// deadBranch is a·a + a: after one a the process may be committed to a dead
+// end.
+func deadBranch() *fsp.FSP {
+	b := fsp.NewBuilder("aa+a")
+	b.AddStates(4)
+	b.ArcName(0, "a", 1)
+	b.ArcName(1, "a", 2)
+	b.ArcName(0, "a", 3)
+	for s := fsp.State(0); s < 4; s++ {
+		b.Accept(s)
+	}
+	return b.MustBuild()
+}
+
+// twoChains is a³ + a².
+func twoChains() *fsp.FSP {
+	b := fsp.NewBuilder("a3+a2")
+	b.AddStates(6)
+	b.ArcName(0, "a", 1)
+	b.ArcName(1, "a", 2)
+	b.ArcName(2, "a", 3)
+	b.ArcName(0, "a", 4)
+	b.ArcName(4, "a", 5)
+	for s := fsp.State(0); s < 6; s++ {
+		b.Accept(s)
+	}
+	return b.MustBuild()
+}
+
+// twoChainsPlusMixed is a³ + a² + a(a + a²): the extra a-derivative has
+// both a dead and a live continuation after one more a.
+func twoChainsPlusMixed() *fsp.FSP {
+	b := fsp.NewBuilder("a3+a2+a(a+a2)")
+	b.AddStates(10)
+	b.ArcName(0, "a", 1)
+	b.ArcName(1, "a", 2)
+	b.ArcName(2, "a", 3)
+	b.ArcName(0, "a", 4)
+	b.ArcName(4, "a", 5)
+	b.ArcName(0, "a", 6)
+	b.ArcName(6, "a", 7)
+	b.ArcName(6, "a", 8)
+	b.ArcName(8, "a", 9)
+	for s := fsp.State(0); s < 10; s++ {
+		b.Accept(s)
+	}
+	return b.MustBuild()
+}

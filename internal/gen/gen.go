@@ -1,0 +1,196 @@
+// Package gen provides seeded workload generators for tests and the
+// benchmark harness: random FSPs in each Table I model class, structured
+// families (chains, cycles, the Fig. 2 gallery), adversarial inputs for the
+// naive partitioning method, and random star expressions.
+//
+// All generators are deterministic functions of the supplied *rand.Rand, so
+// experiments are reproducible from a seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccs/internal/expr"
+	"ccs/internal/fsp"
+)
+
+// actionNames returns k observable action names: a, b, c, ...
+func actionNames(k int) []string {
+	names := make([]string, k)
+	for i := range names {
+		names[i] = string(rune('a' + i%26))
+		if i >= 26 {
+			names[i] = fmt.Sprintf("a%d", i)
+		}
+	}
+	return names
+}
+
+// Random returns a random general FSP: states states, approximately arcs
+// transitions over numActions observable actions, with each arc being a tau
+// move with probability tauFrac, and each state accepting with probability
+// 1/2.
+func Random(rng *rand.Rand, states, arcs, numActions int, tauFrac float64) *fsp.FSP {
+	b := fsp.NewBuilder(fmt.Sprintf("rand-%d-%d", states, arcs))
+	names := actionNames(numActions)
+	for _, n := range names {
+		b.Action(n)
+	}
+	b.AddStates(states)
+	for i := 0; i < arcs; i++ {
+		from := fsp.State(rng.Intn(states))
+		to := fsp.State(rng.Intn(states))
+		if rng.Float64() < tauFrac {
+			b.ArcName(from, fsp.TauName, to)
+		} else {
+			b.ArcName(from, names[rng.Intn(len(names))], to)
+		}
+	}
+	for s := 0; s < states; s++ {
+		if rng.Intn(2) == 0 {
+			b.Accept(fsp.State(s))
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomRestricted returns a random restricted observable FSP (every state
+// accepting, no tau moves).
+func RandomRestricted(rng *rand.Rand, states, arcs, numActions int) *fsp.FSP {
+	b := fsp.NewBuilder(fmt.Sprintf("rrand-%d-%d", states, arcs))
+	names := actionNames(numActions)
+	for _, n := range names {
+		b.Action(n)
+	}
+	b.AddStates(states)
+	for i := 0; i < arcs; i++ {
+		b.ArcName(
+			fsp.State(rng.Intn(states)),
+			names[rng.Intn(len(names))],
+			fsp.State(rng.Intn(states)),
+		)
+	}
+	for s := 0; s < states; s++ {
+		b.Accept(fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
+// RandomDeterministic returns a random deterministic FSP: exactly one
+// transition per state per action, random acceptance.
+func RandomDeterministic(rng *rand.Rand, states, numActions int) *fsp.FSP {
+	b := fsp.NewBuilder(fmt.Sprintf("det-%d", states))
+	names := actionNames(numActions)
+	b.AddStates(states)
+	for s := 0; s < states; s++ {
+		for _, n := range names {
+			b.ArcName(fsp.State(s), n, fsp.State(rng.Intn(states)))
+		}
+		if rng.Intn(2) == 0 {
+			b.Accept(fsp.State(s))
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomTotal returns a random standard observable FSP over exactly {a, b}
+// in which every state has at least one a- and one b-transition — the input
+// shape required by the Lemma 4.2 reduction.
+func RandomTotal(rng *rand.Rand, states, extraArcs int) *fsp.FSP {
+	b := fsp.NewBuilder(fmt.Sprintf("total-%d", states))
+	names := []string{"a", "b"}
+	b.AddStates(states)
+	for s := 0; s < states; s++ {
+		b.ArcName(fsp.State(s), "a", fsp.State(rng.Intn(states)))
+		b.ArcName(fsp.State(s), "b", fsp.State(rng.Intn(states)))
+		if rng.Intn(2) == 0 {
+			b.Accept(fsp.State(s))
+		}
+	}
+	for i := 0; i < extraArcs; i++ {
+		b.ArcName(
+			fsp.State(rng.Intn(states)),
+			names[rng.Intn(2)],
+			fsp.State(rng.Intn(states)),
+		)
+	}
+	return b.MustBuild()
+}
+
+// RandomTree returns a random restricted finite tree with the given number
+// of states (>= 1) over numActions actions; each non-root state attaches
+// under a uniformly chosen earlier state.
+func RandomTree(rng *rand.Rand, states, numActions int) *fsp.FSP {
+	b := fsp.NewBuilder(fmt.Sprintf("tree-%d", states))
+	names := actionNames(numActions)
+	b.AddStates(states)
+	for s := 1; s < states; s++ {
+		parent := fsp.State(rng.Intn(s))
+		b.ArcName(parent, names[rng.Intn(len(names))], fsp.State(s))
+	}
+	for s := 0; s < states; s++ {
+		b.Accept(fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
+// Chain returns the r.o.u. process a^n: a chain of n transitions with every
+// state accepting.
+func Chain(n int) *fsp.FSP {
+	b := fsp.NewBuilder(fmt.Sprintf("chain-%d", n))
+	b.AddStates(n + 1)
+	for i := 0; i < n; i++ {
+		b.ArcName(fsp.State(i), "a", fsp.State(i+1))
+	}
+	for s := 0; s <= n; s++ {
+		b.Accept(fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the r.o.u. total cycle of n states.
+func Cycle(n int) *fsp.FSP {
+	b := fsp.NewBuilder(fmt.Sprintf("cycle-%d", n))
+	b.AddStates(n)
+	for i := 0; i < n; i++ {
+		b.ArcName(fsp.State(i), "a", fsp.State((i+1)%n))
+	}
+	for s := 0; s < n; s++ {
+		b.Accept(fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
+// SplitterChain returns the worst-case family for the naive partitioning
+// method (Lemma 3.2 tightness): a unary chain in which each refinement
+// round splits off exactly one state, forcing n rounds of O(n + m) work.
+func SplitterChain(n int) *fsp.FSP {
+	return Chain(n)
+}
+
+// RandomExpr returns a random star expression with the given number of
+// operator nodes over numActions symbols.
+func RandomExpr(rng *rand.Rand, ops, numActions int) expr.Expr {
+	names := actionNames(numActions)
+	var build func(int) expr.Expr
+	build = func(k int) expr.Expr {
+		if k <= 0 {
+			if rng.Intn(8) == 0 {
+				return expr.Empty{}
+			}
+			return expr.Sym{Name: names[rng.Intn(len(names))]}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			l := rng.Intn(k)
+			return expr.Union{L: build(l), R: build(k - 1 - l)}
+		case 1:
+			l := rng.Intn(k)
+			return expr.Concat{L: build(l), R: build(k - 1 - l)}
+		default:
+			return expr.Star{Sub: build(k - 1)}
+		}
+	}
+	return build(ops)
+}

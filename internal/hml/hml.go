@@ -1,0 +1,314 @@
+// Package hml implements Hennessy-Milner logic over finite state processes
+// and automatic extraction of distinguishing formulas.
+//
+// Hennessy & Milner (1985) — cited by the paper as the modal
+// characterization of its equivalences — show that two states of a finitely
+// branching process are strongly equivalent iff they satisfy the same HML
+// formulas. This package makes the contrapositive executable: for states
+// that are NOT equivalent it produces a formula satisfied by one and not
+// the other, which is the most useful artifact an equivalence checker can
+// emit. Weak (observational) distinguishing formulas are obtained by
+// running the same construction on the saturated FSP of Theorem 4.1(a), so
+// modalities range over Sigma ∪ {ε}.
+package hml
+
+import (
+	"fmt"
+	"strings"
+
+	"ccs/internal/fsp"
+	"ccs/internal/partition"
+)
+
+// Formula is a Hennessy-Milner logic formula.
+//
+// The grammar is: tt | ext=E | ¬φ | φ∧φ | ⟨a⟩φ. Boxes [a]φ are expressible
+// as ¬⟨a⟩¬φ; the distinguishing-formula construction only needs diamonds,
+// conjunction and negation.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// True is the formula tt, satisfied by every state.
+type True struct{}
+
+func (True) isFormula()     {}
+func (True) String() string { return "tt" }
+
+// ExtEq holds at states whose extension equals Ext exactly.
+type ExtEq struct {
+	Ext fsp.VarSet
+	// Vars is used for rendering only.
+	Vars *fsp.VarTable
+}
+
+func (ExtEq) isFormula() {}
+func (e ExtEq) String() string {
+	if e.Vars == nil {
+		return fmt.Sprintf("ext=%#x", uint64(e.Ext))
+	}
+	return "ext=" + e.Ext.Format(e.Vars)
+}
+
+// Not is negation.
+type Not struct{ Sub Formula }
+
+func (Not) isFormula()       {}
+func (n Not) String() string { return "¬" + n.Sub.String() }
+
+// And is finite conjunction; the empty conjunction is tt.
+type And struct{ Subs []Formula }
+
+func (And) isFormula() {}
+func (a And) String() string {
+	if len(a.Subs) == 0 {
+		return "tt"
+	}
+	if len(a.Subs) == 1 {
+		return a.Subs[0].String()
+	}
+	parts := make([]string, len(a.Subs))
+	for i, s := range a.Subs {
+		parts[i] = s.String()
+	}
+	return "(" + strings.Join(parts, " ∧ ") + ")"
+}
+
+// Diamond is the possibility modality ⟨Act⟩Sub: some Act-successor
+// satisfies Sub. Name carries the action's rendering.
+type Diamond struct {
+	Act  fsp.Action
+	Name string
+	Sub  Formula
+}
+
+func (Diamond) isFormula() {}
+func (d Diamond) String() string {
+	return "⟨" + d.Name + "⟩" + d.Sub.String()
+}
+
+// Satisfies reports whether state s of f satisfies phi, by direct recursive
+// evaluation over the state set.
+func Satisfies(f *fsp.FSP, s fsp.State, phi Formula) bool {
+	return eval(f, phi)[s]
+}
+
+// Sat returns the satisfaction set of phi over f's states.
+func Sat(f *fsp.FSP, phi Formula) []bool {
+	return eval(f, phi)
+}
+
+func eval(f *fsp.FSP, phi Formula) []bool {
+	n := f.NumStates()
+	out := make([]bool, n)
+	switch t := phi.(type) {
+	case True:
+		for i := range out {
+			out[i] = true
+		}
+	case ExtEq:
+		for i := range out {
+			out[i] = f.Ext(fsp.State(i)) == t.Ext
+		}
+	case Not:
+		sub := eval(f, t.Sub)
+		for i := range out {
+			out[i] = !sub[i]
+		}
+	case And:
+		for i := range out {
+			out[i] = true
+		}
+		for _, s := range t.Subs {
+			sub := eval(f, s)
+			for i := range out {
+				out[i] = out[i] && sub[i]
+			}
+		}
+	case Or:
+		for _, s := range t.Subs {
+			sub := eval(f, s)
+			for i := range out {
+				out[i] = out[i] || sub[i]
+			}
+		}
+	case Diamond:
+		sub := eval(f, t.Sub)
+		for i := 0; i < n; i++ {
+			for _, to := range f.Dest(fsp.State(i), t.Act) {
+				if sub[to] {
+					out[i] = true
+					break
+				}
+			}
+		}
+	case Box:
+		sub := eval(f, t.Sub)
+		for i := 0; i < n; i++ {
+			out[i] = true
+			for _, to := range f.Dest(fsp.State(i), t.Act) {
+				if !sub[to] {
+					out[i] = false
+					break
+				}
+			}
+		}
+	default:
+		// Unknown formula constructors satisfy nothing; the constructors
+		// are sealed by isFormula so this is unreachable from outside.
+	}
+	return out
+}
+
+// Size counts the nodes of a formula, for reporting and tests.
+func Size(phi Formula) int {
+	switch t := phi.(type) {
+	case Not:
+		return 1 + Size(t.Sub)
+	case And:
+		n := 1
+		for _, s := range t.Subs {
+			n += Size(s)
+		}
+		return n
+	case Or:
+		n := 1
+		for _, s := range t.Subs {
+			n += Size(s)
+		}
+		return n
+	case Diamond:
+		return 1 + Size(t.Sub)
+	case Box:
+		return 1 + Size(t.Sub)
+	default:
+		return 1
+	}
+}
+
+// Distinguish returns an HML formula satisfied by p but not by q, where p
+// and q are states of f, or an error if p ~ q (strong equivalence admits no
+// distinguishing formula, by Hennessy-Milner).
+func Distinguish(f *fsp.FSP, p, q fsp.State) (Formula, error) {
+	pr := problemOf(f)
+	seq := pr.RefineSequence()
+	final := seq[len(seq)-1]
+	if final.Same(int32(p), int32(q)) {
+		return nil, fmt.Errorf("hml: states %d and %d are strongly equivalent", p, q)
+	}
+	d := &distinguisher{f: f, seq: seq}
+	return d.build(p, q), nil
+}
+
+// DistinguishWeak returns a weak-modality HML formula telling p from q up
+// to observational equivalence: it is evaluated over the saturated FSP, so
+// ⟨a⟩ means "after some a-weak-derivative" and ⟨ε⟩ "after some tau steps".
+// The saturated FSP is returned so callers can evaluate the formula.
+func DistinguishWeak(f *fsp.FSP, p, q fsp.State) (Formula, *fsp.FSP, error) {
+	sat, _, err := fsp.Saturate(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hml: %w", err)
+	}
+	phi, err := Distinguish(sat, p, q)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hml: states %d and %d are observationally equivalent", p, q)
+	}
+	return phi, sat, nil
+}
+
+type distinguisher struct {
+	f   *fsp.FSP
+	seq []*partition.Partition
+}
+
+// level returns the first refinement level at which p and q separate, or -1
+// if they never do.
+func (d *distinguisher) level(p, q fsp.State) int {
+	for k, part := range d.seq {
+		if !part.Same(int32(p), int32(q)) {
+			return k
+		}
+	}
+	return -1
+}
+
+// build constructs a formula true at p and false at q; p and q must be
+// separated at some level.
+func (d *distinguisher) build(p, q fsp.State) Formula {
+	k := d.level(p, q)
+	if k == 0 {
+		// Separated by the initial partition: extensions differ.
+		return ExtEq{Ext: d.f.Ext(p), Vars: d.f.Vars()}
+	}
+	prev := d.seq[k-1]
+	// p and q agree at level k-1 but differ at k: one of them has a move
+	// some move of which the other cannot match at level k-1.
+	if phi, ok := d.moveFormula(prev, p, q); ok {
+		return phi
+	}
+	if phi, ok := d.moveFormula(prev, q, p); ok {
+		return Not{Sub: phi}
+	}
+	// Unreachable: a level-k split is always justified by an unmatched
+	// move in one direction; guard for safety.
+	return True{}
+}
+
+// moveFormula looks for an action a and successor p' of p such that no
+// a-successor of q is level-(k-1)-equivalent to p'; it returns
+// ⟨a⟩(∧_{q'} distinguish(p', q')).
+func (d *distinguisher) moveFormula(prev *partition.Partition, p, q fsp.State) (Formula, bool) {
+	alpha := d.f.Alphabet()
+	for act := fsp.Action(0); int(act) < alpha.Len(); act++ {
+		for _, pNext := range d.f.Dest(p, act) {
+			qNexts := d.f.Dest(q, act)
+			matched := false
+			for _, qNext := range qNexts {
+				if prev.Same(int32(pNext), int32(qNext)) {
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			subs := make([]Formula, 0, len(qNexts))
+			for _, qNext := range qNexts {
+				subs = append(subs, d.build(pNext, qNext))
+			}
+			return Diamond{Act: act, Name: alpha.Name(act), Sub: And{Subs: subs}}, true
+		}
+	}
+	return nil, false
+}
+
+// problemOf mirrors the core package's encoding (kept local to avoid a
+// dependency cycle): elements are states, labels are actions, the initial
+// partition groups by extension.
+func problemOf(f *fsp.FSP) *partition.Problem {
+	n := f.NumStates()
+	pr := &partition.Problem{
+		N:         n,
+		NumLabels: f.Alphabet().Len(),
+		Initial:   make([]int32, n),
+	}
+	blockByExt := map[fsp.VarSet]int32{}
+	for s := 0; s < n; s++ {
+		e := f.Ext(fsp.State(s))
+		b, ok := blockByExt[e]
+		if !ok {
+			b = int32(len(blockByExt))
+			blockByExt[e] = b
+		}
+		pr.Initial[s] = b
+		for _, a := range f.Arcs(fsp.State(s)) {
+			pr.Edges = append(pr.Edges, partition.Edge{
+				From:  int32(s),
+				Label: int32(a.Act),
+				To:    int32(a.To),
+			})
+		}
+	}
+	return pr
+}

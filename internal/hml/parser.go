@@ -1,0 +1,253 @@
+package hml
+
+import (
+	"fmt"
+	"strings"
+
+	"ccs/internal/fsp"
+)
+
+// This file adds the user-facing side of HML: Or and Box connectives and a
+// formula parser, so processes can be model-checked against hand-written
+// specifications (the "ccs sat" command).
+//
+// Grammar (precedence low to high: |, &, prefixes):
+//
+//	or     := and ('|' and)*
+//	and    := prefix ('&' prefix)*
+//	prefix := '!' prefix | '<' ACTION '>' prefix | '[' ACTION ']' prefix | atom
+//	atom   := 'tt' | 'ff' | 'ext' '(' names ')' | '(' or ')'
+//
+// ACTION is an action name of the process ("tau" included, and "eps" for
+// the ε relation of saturated processes); ext(x,y) holds at states whose
+// extension is exactly {x,y}; ext() means the empty extension.
+
+// Or is disjunction.
+type Or struct{ Subs []Formula }
+
+func (Or) isFormula() {}
+func (o Or) String() string {
+	if len(o.Subs) == 0 {
+		return "ff"
+	}
+	if len(o.Subs) == 1 {
+		return o.Subs[0].String()
+	}
+	parts := make([]string, len(o.Subs))
+	for i, s := range o.Subs {
+		parts[i] = s.String()
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+// Box is the necessity modality [Act]Sub: every Act-successor satisfies
+// Sub (vacuously true without successors).
+type Box struct {
+	Act  fsp.Action
+	Name string
+	Sub  Formula
+}
+
+func (Box) isFormula() {}
+func (b Box) String() string {
+	return "[" + b.Name + "]" + b.Sub.String()
+}
+
+// ParseFormula parses an HML formula against the alphabet and variables of
+// the given process.
+func ParseFormula(src string, f *fsp.FSP) (Formula, error) {
+	p := &formulaParser{src: src, f: f}
+	phi, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("hml: unexpected %q at offset %d", p.src[p.pos], p.pos)
+	}
+	return phi, nil
+}
+
+type formulaParser struct {
+	src string
+	pos int
+	f   *fsp.FSP
+}
+
+func (p *formulaParser) skip() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *formulaParser) peek() (byte, bool) {
+	p.skip()
+	if p.pos >= len(p.src) {
+		return 0, false
+	}
+	return p.src[p.pos], true
+}
+
+func (p *formulaParser) parseOr() (Formula, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	subs := []Formula{first}
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return Or{Subs: subs}, nil
+}
+
+func (p *formulaParser) parseAnd() (Formula, error) {
+	first, err := p.parsePrefix()
+	if err != nil {
+		return nil, err
+	}
+	subs := []Formula{first}
+	for {
+		c, ok := p.peek()
+		if !ok || c != '&' {
+			break
+		}
+		p.pos++
+		next, err := p.parsePrefix()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return And{Subs: subs}, nil
+}
+
+func (p *formulaParser) parsePrefix() (Formula, error) {
+	c, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("hml: unexpected end of formula")
+	}
+	switch c {
+	case '!':
+		p.pos++
+		sub, err := p.parsePrefix()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Sub: sub}, nil
+	case '<':
+		p.pos++
+		act, name, err := p.parseActionUntil('>')
+		if err != nil {
+			return nil, err
+		}
+		sub, err := p.parsePrefix()
+		if err != nil {
+			return nil, err
+		}
+		return Diamond{Act: act, Name: name, Sub: sub}, nil
+	case '[':
+		p.pos++
+		act, name, err := p.parseActionUntil(']')
+		if err != nil {
+			return nil, err
+		}
+		sub, err := p.parsePrefix()
+		if err != nil {
+			return nil, err
+		}
+		return Box{Act: act, Name: name, Sub: sub}, nil
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *formulaParser) parseActionUntil(close byte) (fsp.Action, string, error) {
+	p.skip()
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != close {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return 0, "", fmt.Errorf("hml: missing %q", string(close))
+	}
+	name := strings.TrimSpace(p.src[start:p.pos])
+	p.pos++
+	if name == "" {
+		return 0, "", fmt.Errorf("hml: empty action name")
+	}
+	if name == "eps" {
+		name = fsp.EpsilonName
+	}
+	act, ok := p.f.Alphabet().Lookup(name)
+	if !ok {
+		return 0, "", fmt.Errorf("hml: action %q not in the process alphabet", name)
+	}
+	return act, name, nil
+}
+
+func (p *formulaParser) parseAtom() (Formula, error) {
+	p.skip()
+	rest := p.src[p.pos:]
+	switch {
+	case strings.HasPrefix(rest, "tt"):
+		p.pos += 2
+		return True{}, nil
+	case strings.HasPrefix(rest, "ff"):
+		p.pos += 2
+		return Not{Sub: True{}}, nil
+	case strings.HasPrefix(rest, "ext"):
+		p.pos += 3
+		c, ok := p.peek()
+		if !ok || c != '(' {
+			return nil, fmt.Errorf("hml: ext wants '('")
+		}
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != ')' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("hml: missing ')'")
+		}
+		inner := p.src[start:p.pos]
+		p.pos++
+		var ext fsp.VarSet
+		for _, name := range strings.FieldsFunc(inner, func(r rune) bool { return r == ',' || r == ' ' }) {
+			id, ok := p.f.Vars().Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("hml: variable %q not in the process", name)
+			}
+			ext = ext.With(id)
+		}
+		return ExtEq{Ext: ext, Vars: p.f.Vars()}, nil
+	case strings.HasPrefix(rest, "("):
+		p.pos++
+		phi, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		c, ok := p.peek()
+		if !ok || c != ')' {
+			return nil, fmt.Errorf("hml: missing ')'")
+		}
+		p.pos++
+		return phi, nil
+	default:
+		return nil, fmt.Errorf("hml: unexpected input at offset %d: %q", p.pos, rest)
+	}
+}

@@ -1,0 +1,140 @@
+package hml
+
+import (
+	"strings"
+	"testing"
+
+	"ccs/internal/fsp"
+)
+
+// parserFixture: 0 --a--> 1 --b--> 2(x), 0 --tau--> 3, 3 --b--> 2.
+func parserFixture() *fsp.FSP {
+	b := fsp.NewBuilder("fix")
+	b.AddStates(4)
+	b.ArcName(0, "a", 1)
+	b.ArcName(1, "b", 2)
+	b.ArcName(0, fsp.TauName, 3)
+	b.ArcName(3, "b", 2)
+	b.Accept(2)
+	return b.MustBuild()
+}
+
+func TestParseFormulaBasics(t *testing.T) {
+	f := parserFixture()
+	cases := []struct {
+		src   string
+		state fsp.State
+		want  bool
+	}{
+		{"tt", 0, true},
+		{"ff", 0, false},
+		{"<a>tt", 0, true},
+		{"<a>tt", 1, false},
+		{"<a><b>tt", 0, true},
+		{"<tau><b>tt", 0, true},
+		{"[a]<b>tt", 0, true}, // all a-successors can do b
+		{"[b]ff", 0, true},    // no b-successors: vacuous
+		{"[a]ff", 0, false},   // there is an a-successor
+		{"!<a>tt", 2, true},
+		{"<a>tt & <tau>tt", 0, true},
+		{"<b>tt | <a>tt", 0, true},
+		{"ext(x)", 2, true},
+		{"ext(x)", 0, false},
+		{"ext()", 0, true},
+		{"ext()", 2, false},
+		{"(<a>tt) & !ff", 0, true},
+		{"<a>(<b>ext(x))", 0, true},
+	}
+	for _, tc := range cases {
+		phi, err := ParseFormula(tc.src, f)
+		if err != nil {
+			t.Errorf("ParseFormula(%q): %v", tc.src, err)
+			continue
+		}
+		if got := Satisfies(f, tc.state, phi); got != tc.want {
+			t.Errorf("%q at state %d = %v, want %v", tc.src, tc.state, got, tc.want)
+		}
+	}
+}
+
+func TestParseFormulaErrors(t *testing.T) {
+	f := parserFixture()
+	for _, src := range []string{
+		"", "<", "<a", "<a>", "[a", "zz", "<zz>tt", "ext", "ext(", "ext(q)",
+		"tt & ", "tt |", "(tt", "tt)", "!",
+	} {
+		if _, err := ParseFormula(src, f); err == nil {
+			t.Errorf("ParseFormula(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseFormulaEpsAlias(t *testing.T) {
+	f := parserFixture()
+	sat, _, err := fsp.Saturate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := ParseFormula("<eps><b>tt", sat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 ==eps=> 3 --b--> 2 in the saturated process.
+	if !Satisfies(sat, 0, phi) {
+		t.Errorf("<eps><b>tt must hold at 0 in the saturated process")
+	}
+	// eps is not available on unsaturated processes.
+	if _, err := ParseFormula("<eps>tt", f); err == nil {
+		t.Errorf("eps accepted on unsaturated process")
+	}
+}
+
+func TestBoxDiamondDuality(t *testing.T) {
+	f := parserFixture()
+	a, _ := f.Alphabet().Lookup("a")
+	phi := Diamond{Act: a, Name: "a", Sub: True{}}
+	dual := Not{Sub: Box{Act: a, Name: "a", Sub: Not{Sub: True{}}}}
+	for s := 0; s < f.NumStates(); s++ {
+		if Satisfies(f, fsp.State(s), phi) != Satisfies(f, fsp.State(s), dual) {
+			t.Errorf("duality broken at state %d", s)
+		}
+	}
+}
+
+func TestOrBoxStringAndSize(t *testing.T) {
+	f := parserFixture()
+	phi, err := ParseFormula("[a]tt | ff", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := phi.String()
+	if !strings.Contains(s, "[a]") || !strings.Contains(s, "∨") {
+		t.Errorf("rendering = %q", s)
+	}
+	if Size(phi) < 4 {
+		t.Errorf("Size = %d", Size(phi))
+	}
+	if (Or{}).String() != "ff" {
+		t.Errorf("empty disjunction renders as %q", (Or{}).String())
+	}
+}
+
+func TestParsedFormulaRoundTrip(t *testing.T) {
+	// Rendering uses unicode connectives; we check semantic stability via
+	// a second evaluation rather than string equality.
+	f := parserFixture()
+	srcs := []string{"<a><b>tt & [tau]<b>tt", "!(<a>tt | ext(x))"}
+	for _, src := range srcs {
+		phi, err := ParseFormula(src, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sat1 := Sat(f, phi)
+		sat2 := Sat(f, phi)
+		for i := range sat1 {
+			if sat1[i] != sat2[i] {
+				t.Errorf("%q: evaluation not deterministic", src)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package kequiv
+
+import (
+	"fmt"
+
+	"ccs/internal/automata"
+	"ccs/internal/fsp"
+)
+
+// weakNFA views an FSP as a classical NFA over its observable alphabet:
+// arcs are weak derivatives and a state accepts iff some member of its
+// tau-closure is accepting. The languages L(p) of the paper are exactly the
+// languages of these NFAs.
+func weakNFA(f *fsp.FSP) (*automata.NFA, error) {
+	g := newWeakGraph(f)
+	n, err := automata.NewNFA(f.NumStates(), g.numObs, int32(f.Start()))
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < f.NumStates(); s++ {
+		accepting := false
+		for _, t := range g.clo.Of(fsp.State(s)) {
+			if f.Accepting(t) {
+				accepting = true
+				break
+			}
+		}
+		n.SetAccept(int32(s), accepting)
+		for obs := 0; obs < g.numObs; obs++ {
+			for _, to := range g.arcs[s][obs] {
+				if err := n.AddArc(int32(s), obs, int32(to)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+// TraceWitness decides classical language equivalence L(p) = L(q) of the
+// start states and, when the languages differ, returns the shortest word
+// accepted by exactly one side, rendered with action names.
+//
+// On the restricted model this is exactly ≈_1 (Proposition 2.2.3b). On
+// general FSPs ≈_1 is finer: it also compares the languages of the other
+// extension classes (Definition 2.2.1 quantifies over all extensions), so
+// use Equivalent(f, g, 1) for the paper's relation and this function when
+// a human-readable distinguishing trace is wanted.
+func TraceWitness(f, g *fsp.FSP) (equal bool, word []string, err error) {
+	u, off, err := fsp.DisjointUnion(f, g)
+	if err != nil {
+		return false, nil, fmt.Errorf("kequiv: %w", err)
+	}
+	nfa, err := weakNFA(u)
+	if err != nil {
+		return false, nil, fmt.Errorf("kequiv: %w", err)
+	}
+	// Two NFAs sharing the same graph with different starts.
+	nfaF, err := restart(nfa, int32(f.Start()))
+	if err != nil {
+		return false, nil, err
+	}
+	nfaG, err := restart(nfa, int32(off+g.Start()))
+	if err != nil {
+		return false, nil, err
+	}
+	eq, w, err := automata.EquivalentNFA(nfaF, nfaG)
+	if err != nil {
+		return false, nil, fmt.Errorf("kequiv: %w", err)
+	}
+	if eq {
+		return true, nil, nil
+	}
+	names := make([]string, len(w))
+	for i, sym := range w {
+		// Observable symbol i of the NFA is action i+1 of the FSP.
+		names[i] = u.Alphabet().Name(fsp.Action(sym + 1))
+	}
+	return false, names, nil
+}
+
+// restart clones an NFA with a different start state.
+func restart(n *automata.NFA, start int32) (*automata.NFA, error) {
+	out, err := automata.NewNFA(n.NumStates(), n.NumSymbols(), start)
+	if err != nil {
+		return nil, err
+	}
+	for s := int32(0); int(s) < n.NumStates(); s++ {
+		out.SetAccept(s, n.Accepting(s))
+		for sym := 0; sym < n.NumSymbols(); sym++ {
+			for _, to := range n.Next(s, sym) {
+				if err := out.AddArc(s, sym, to); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,328 @@
+package partition
+
+import "sort"
+
+// PaigeTarjan solves the instance with the three-way splitting algorithm of
+// Paige & Tarjan (1987), generalized to labelled relations: splitters are
+// processed "smaller half first" and each split of an X-block S into B and
+// S-B refines every Q-block three ways per label — elements with l-edges
+// only into B, into both B and S-B, or only into S-B — using per-(element,
+// label, X-block) edge counts so that S-B never has to be scanned. Total
+// splitter work is O(m log n).
+//
+// The result equals Naive's (the coarsest stable refinement is unique by the
+// Knaster-Tarski argument of Section 3).
+func (pr *Problem) PaigeTarjan() *Partition {
+	if len(pr.Edges) == 0 {
+		// Nothing to refine against: the initial partition is stable.
+		return NewPartition(pr.initialBlocks())
+	}
+	st := newPTState(pr)
+	st.run()
+	out := make([]int32, pr.N)
+	copy(out, st.blk)
+	return NewPartition(out)
+}
+
+// ptState carries the mutable state of one Paige-Tarjan run.
+type ptState struct {
+	n         int
+	numLabels int
+
+	// Q-partition: elems is a permutation of 0..n-1 grouped by block;
+	// loc[x] is x's index in elems; blk[x] its Q-block id. Per block id:
+	// half-open range [bStart, bEnd) into elems and a count of marked
+	// elements (marked elements occupy the prefix of the range).
+	elems, loc, blk       []int32
+	bStart, bEnd, bMarked []int32
+	touched               []int32 // blocks with marks, pending splitMarked
+
+	// X-partition: each X-block is a set of Q-block ids. bX maps Q-block ->
+	// X-block; posInX is the Q-block's index within its X-block's slice.
+	xBlocks [][]int32
+	bX      []int32
+	posInX  []int32
+	inC     []bool
+	work    []int32 // worklist C of compound X-blocks
+
+	// Edges in CSR form grouped by target, for scanning in-edges of B.
+	edges    []Edge
+	preStart []int32
+	preEdges []int32
+
+	// Count records: cnt[r] is the number of l-edges from some x into some
+	// X-block S; every edge points at the record of its (From, Label,
+	// X-block-of-To) triple.
+	cnt     []int32
+	edgeRec []int32
+}
+
+func newPTState(pr *Problem) *ptState {
+	n := pr.N
+	st := &ptState{
+		n:         n,
+		numLabels: pr.NumLabels,
+		elems:     make([]int32, n),
+		loc:       make([]int32, n),
+		blk:       pr.initialBlocks(),
+		edges:     pr.Edges,
+	}
+
+	// Group elements by initial block (counting sort).
+	numBlk := int32(0)
+	for _, b := range st.blk {
+		if b+1 > numBlk {
+			numBlk = b + 1
+		}
+	}
+	counts := make([]int32, numBlk+1)
+	for _, b := range st.blk {
+		counts[b+1]++
+	}
+	for i := int32(1); i <= numBlk; i++ {
+		counts[i] += counts[i-1]
+	}
+	st.bStart = make([]int32, numBlk)
+	st.bEnd = make([]int32, numBlk)
+	st.bMarked = make([]int32, numBlk)
+	for b := int32(0); b < numBlk; b++ {
+		st.bStart[b] = counts[b]
+		st.bEnd[b] = counts[b+1]
+	}
+	fill := make([]int32, numBlk)
+	copy(fill, st.bStart)
+	for x := int32(0); x < int32(n); x++ {
+		b := st.blk[x]
+		st.elems[fill[b]] = x
+		st.loc[x] = fill[b]
+		fill[b]++
+	}
+
+	// CSR of in-edges by target.
+	st.preStart = make([]int32, n+1)
+	for _, e := range pr.Edges {
+		st.preStart[e.To+1]++
+	}
+	for i := 1; i <= n; i++ {
+		st.preStart[i] += st.preStart[i-1]
+	}
+	st.preEdges = make([]int32, len(pr.Edges))
+	fillE := make([]int32, n)
+	for i, e := range pr.Edges {
+		st.preEdges[st.preStart[e.To]+fillE[e.To]] = int32(i)
+		fillE[e.To]++
+	}
+
+	// The universe starts as the single X-block containing every Q-block.
+	all := make([]int32, numBlk)
+	st.bX = make([]int32, numBlk)
+	st.posInX = make([]int32, numBlk)
+	for b := int32(0); b < numBlk; b++ {
+		all[b] = b
+		st.posInX[b] = b
+	}
+	st.xBlocks = [][]int32{all}
+	st.inC = []bool{false}
+
+	// One count record per (from, label) with outdegree > 0: the count of
+	// edges into the universe. Edges are mapped to their record. The
+	// support list per label (elements with at least one l-edge) falls out
+	// of the same dedup pass.
+	st.edgeRec = make([]int32, len(pr.Edges))
+	recOf := make(map[int64]int32, len(pr.Edges))
+	support := make([][]int32, pr.NumLabels)
+	for i, e := range pr.Edges {
+		key := int64(e.From)*int64(pr.NumLabels) + int64(e.Label)
+		r, ok := recOf[key]
+		if !ok {
+			r = int32(len(st.cnt))
+			st.cnt = append(st.cnt, 0)
+			recOf[key] = r
+			support[e.Label] = append(support[e.Label], e.From)
+		}
+		st.cnt[r]++
+		st.edgeRec[i] = r
+	}
+
+	// Pre-split so Q is stable w.r.t. the universe per label: within a
+	// block, either all elements have an l-edge or none do. Splitting by
+	// each label's support set sequentially achieves the signature split.
+	for l := int32(0); l < int32(pr.NumLabels); l++ {
+		for _, x := range support[l] {
+			st.mark(x)
+		}
+		st.splitMarked()
+	}
+
+	if len(st.xBlocks[0]) >= 2 {
+		st.inC[0] = true
+		st.work = append(st.work, 0)
+	}
+	return st
+}
+
+// mark moves x into the marked prefix of its Q-block.
+func (st *ptState) mark(x int32) {
+	b := st.blk[x]
+	if st.bMarked[b] == 0 {
+		st.touched = append(st.touched, b)
+	}
+	dst := st.bStart[b] + st.bMarked[b]
+	cur := st.loc[x]
+	if cur != dst {
+		other := st.elems[dst]
+		st.elems[dst], st.elems[cur] = x, other
+		st.loc[x], st.loc[other] = dst, cur
+	}
+	st.bMarked[b]++
+}
+
+// splitMarked splits every touched Q-block into its marked prefix and
+// unmarked suffix (when both are nonempty); the marked part becomes a new
+// Q-block in the same X-block. Marks are cleared.
+func (st *ptState) splitMarked() {
+	for _, b := range st.touched {
+		m := st.bMarked[b]
+		st.bMarked[b] = 0
+		size := st.bEnd[b] - st.bStart[b]
+		if m == 0 || m == size {
+			continue
+		}
+		nb := int32(len(st.bStart))
+		st.bStart = append(st.bStart, st.bStart[b])
+		st.bEnd = append(st.bEnd, st.bStart[b]+m)
+		st.bMarked = append(st.bMarked, 0)
+		st.bStart[b] += m
+		for i := st.bStart[nb]; i < st.bEnd[nb]; i++ {
+			st.blk[st.elems[i]] = nb
+		}
+		// The new block joins b's X-block.
+		x := st.bX[b]
+		st.bX = append(st.bX, x)
+		st.posInX = append(st.posInX, int32(len(st.xBlocks[x])))
+		st.xBlocks[x] = append(st.xBlocks[x], nb)
+		if len(st.xBlocks[x]) == 2 && !st.inC[x] {
+			st.inC[x] = true
+			st.work = append(st.work, x)
+		}
+	}
+	st.touched = st.touched[:0]
+}
+
+// blockSize returns the size of Q-block b.
+func (st *ptState) blockSize(b int32) int32 { return st.bEnd[b] - st.bStart[b] }
+
+// run is the main splitter loop.
+func (st *ptState) run() {
+	// passEntry accumulates the per-(x, label) information of one splitter
+	// pass: the number of edges into B, the old (x, l, S) record and the
+	// new (x, l, B) record.
+	type passEntry struct {
+		x, l   int32
+		cntB   int32
+		oldRec int32
+		newRec int32
+	}
+	entryOf := map[int64]int32{}
+	var entries []passEntry
+
+	for len(st.work) > 0 {
+		xid := st.work[len(st.work)-1]
+		st.work = st.work[:len(st.work)-1]
+		st.inC[xid] = false
+		if len(st.xBlocks[xid]) < 2 {
+			continue
+		}
+		// B := the smaller of the first two Q-blocks of S.
+		s := st.xBlocks[xid]
+		b := s[0]
+		if st.blockSize(s[1]) < st.blockSize(b) {
+			b = s[1]
+		}
+		// Remove B from S into its own fresh X-block.
+		pos := st.posInX[b]
+		last := len(s) - 1
+		s[pos] = s[last]
+		st.posInX[s[pos]] = pos
+		st.xBlocks[xid] = s[:last]
+		nx := int32(len(st.xBlocks))
+		st.xBlocks = append(st.xBlocks, []int32{b})
+		st.inC = append(st.inC, false)
+		st.bX[b] = nx
+		st.posInX[b] = 0
+		if len(st.xBlocks[xid]) >= 2 && !st.inC[xid] {
+			st.inC[xid] = true
+			st.work = append(st.work, xid)
+		}
+
+		// Pass 1: scan in-edges of B, accumulating per-(x, l) counts.
+		entries = entries[:0]
+		for k := range entryOf {
+			delete(entryOf, k)
+		}
+		for i := st.bStart[b]; i < st.bEnd[b]; i++ {
+			y := st.elems[i]
+			for j := st.preStart[y]; j < st.preStart[y+1]; j++ {
+				e := st.preEdges[j]
+				from, l := st.edges[e].From, st.edges[e].Label
+				key := int64(from)*int64(st.numLabels) + int64(l)
+				idx, ok := entryOf[key]
+				if !ok {
+					idx = int32(len(entries))
+					entries = append(entries, passEntry{
+						x: from, l: l, oldRec: st.edgeRec[e], newRec: -1,
+					})
+					entryOf[key] = idx
+				}
+				entries[idx].cntB++
+			}
+		}
+		if len(entries) == 0 {
+			continue
+		}
+
+		// Pass 2: create the (x, l, B) records, deduct from the (x, l, S)
+		// records, and repoint the edges into B.
+		for idx := range entries {
+			en := &entries[idx]
+			en.newRec = int32(len(st.cnt))
+			st.cnt = append(st.cnt, en.cntB)
+			st.cnt[en.oldRec] -= en.cntB
+		}
+		for i := st.bStart[b]; i < st.bEnd[b]; i++ {
+			y := st.elems[i]
+			for j := st.preStart[y]; j < st.preStart[y+1]; j++ {
+				e := st.preEdges[j]
+				from, l := st.edges[e].From, st.edges[e].Label
+				key := int64(from)*int64(st.numLabels) + int64(l)
+				st.edgeRec[e] = entries[entryOf[key]].newRec
+			}
+		}
+
+		// Phase 3: refine per label. Sort entries by label so each label is
+		// handled in one contiguous group.
+		sort.Slice(entries, func(i, j int) bool { return entries[i].l < entries[j].l })
+		for lo := 0; lo < len(entries); {
+			hi := lo
+			for hi < len(entries) && entries[hi].l == entries[lo].l {
+				hi++
+			}
+			group := entries[lo:hi]
+			// Split 1: predecessors of B vs the rest.
+			for _, en := range group {
+				st.mark(en.x)
+			}
+			st.splitMarked()
+			// Split 2 (three-way): among predecessors of B, those with no
+			// remaining l-edges into S-B (old record drained) split from
+			// those with edges into both.
+			for _, en := range group {
+				if st.cnt[en.oldRec] == 0 {
+					st.mark(en.x)
+				}
+			}
+			st.splitMarked()
+			lo = hi
+		}
+	}
+}

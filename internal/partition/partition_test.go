@@ -1,0 +1,249 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chainProblem builds a unary chain 0 -> 1 -> ... -> n-1, all one block.
+// The coarsest stable partition separates every state (distance to the dead
+// end differs).
+func chainProblem(n int) *Problem {
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{From: int32(i), Label: 0, To: int32(i + 1)})
+	}
+	return &Problem{N: n, NumLabels: 1, Edges: edges}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		pr   Problem
+		ok   bool
+	}{
+		{"ok", Problem{N: 2, NumLabels: 1, Edges: []Edge{{0, 0, 1}}}, true},
+		{"zero elements", Problem{N: 0}, false},
+		{"bad edge target", Problem{N: 2, NumLabels: 1, Edges: []Edge{{0, 0, 5}}}, false},
+		{"bad edge source", Problem{N: 2, NumLabels: 1, Edges: []Edge{{-1, 0, 1}}}, false},
+		{"bad label", Problem{N: 2, NumLabels: 1, Edges: []Edge{{0, 3, 1}}}, false},
+		{"short initial", Problem{N: 2, NumLabels: 0, Initial: []int32{0}}, false},
+		{"sparse initial", Problem{N: 2, NumLabels: 0, Initial: []int32{0, 5}}, false},
+		{"dense initial", Problem{N: 2, NumLabels: 0, Initial: []int32{1, 0}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.pr.Validate()
+			if (err == nil) != tc.ok {
+				t.Errorf("Validate = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestNaiveChain(t *testing.T) {
+	pr := chainProblem(5)
+	p := pr.Naive()
+	if p.NumBlocks() != 5 {
+		t.Errorf("chain of 5 must fully separate, got %d blocks", p.NumBlocks())
+	}
+	if !pr.Stable(p) {
+		t.Errorf("result not stable")
+	}
+}
+
+func TestPaigeTarjanChain(t *testing.T) {
+	pr := chainProblem(5)
+	p := pr.PaigeTarjan()
+	if p.NumBlocks() != 5 {
+		t.Errorf("chain of 5 must fully separate, got %d blocks", p.NumBlocks())
+	}
+	if !pr.Stable(p) {
+		t.Errorf("result not stable")
+	}
+}
+
+func TestCycleStaysCoarse(t *testing.T) {
+	// A unary cycle: every state behaves identically, one block.
+	n := 6
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{From: int32(i), Label: 0, To: int32((i + 1) % n)})
+	}
+	pr := &Problem{N: n, NumLabels: 1, Edges: edges}
+	for name, p := range map[string]*Partition{
+		"naive": pr.Naive(),
+		"pt":    pr.PaigeTarjan(),
+	} {
+		if p.NumBlocks() != 1 {
+			t.Errorf("%s: cycle should stay one block, got %d", name, p.NumBlocks())
+		}
+	}
+}
+
+func TestInitialPartitionRespected(t *testing.T) {
+	// Two disconnected self-loop states: behaviourally identical, but the
+	// initial partition separates them and must be respected.
+	pr := &Problem{
+		N:         2,
+		NumLabels: 1,
+		Edges:     []Edge{{0, 0, 0}, {1, 0, 1}},
+		Initial:   []int32{0, 1},
+	}
+	for name, p := range map[string]*Partition{
+		"naive": pr.Naive(),
+		"pt":    pr.PaigeTarjan(),
+	} {
+		if p.Same(0, 1) {
+			t.Errorf("%s: initial partition violated", name)
+		}
+	}
+}
+
+func TestThreeWaySplitNeeded(t *testing.T) {
+	// The classic instance where two elements both reach a splitter block B
+	// but only one also reaches S-B; Hopcroft-style two-way splitting with
+	// "skip the largest" can miss it, Paige-Tarjan's counts catch it.
+	//
+	//  0 --> 2         1 --> 2, 1 --> 3
+	//  2 and 3 distinguished by a second label.
+	pr := &Problem{
+		N:         4,
+		NumLabels: 2,
+		Edges: []Edge{
+			{0, 0, 2},
+			{1, 0, 2}, {1, 0, 3},
+			{2, 1, 2}, // only 2 has a label-1 edge
+		},
+	}
+	naive := pr.Naive()
+	pt := pr.PaigeTarjan()
+	if !naive.Equal(pt) {
+		t.Fatalf("naive %v != PT %v", naive.Blocks(), pt.Blocks())
+	}
+	if naive.Same(0, 1) {
+		t.Errorf("0 and 1 must be separated (different block target sets)")
+	}
+}
+
+func TestRefineSteps(t *testing.T) {
+	pr := chainProblem(5)
+	// Round i of naive refinement separates states by "can do i steps".
+	p0, r0 := pr.RefineSteps(0)
+	if r0 != 0 || p0.NumBlocks() != 1 {
+		t.Errorf("0 rounds: blocks=%d rounds=%d", p0.NumBlocks(), r0)
+	}
+	p1, r1 := pr.RefineSteps(1)
+	if r1 != 1 || p1.NumBlocks() != 2 {
+		t.Errorf("1 round: blocks=%d rounds=%d", p1.NumBlocks(), r1)
+	}
+	pAll, rAll := pr.RefineSteps(-1)
+	if pAll.NumBlocks() != 5 {
+		t.Errorf("fixpoint blocks=%d", pAll.NumBlocks())
+	}
+	if rAll != 4 {
+		t.Errorf("fixpoint rounds=%d, want 4", rAll)
+	}
+	// Extra rounds beyond the fixpoint change nothing.
+	pMore, rMore := pr.RefineSteps(100)
+	if !pMore.Equal(pAll) || rMore != rAll {
+		t.Errorf("over-refinement changed result")
+	}
+	// Each step refines the previous.
+	if !p1.Refines(p0) || !pAll.Refines(p1) {
+		t.Errorf("refinement chain broken")
+	}
+}
+
+func TestPartitionOps(t *testing.T) {
+	p := NewPartition([]int32{5, 5, 9, 9, 5})
+	if p.NumBlocks() != 2 || p.Len() != 5 {
+		t.Fatalf("densify failed: %d blocks", p.NumBlocks())
+	}
+	if !p.Same(0, 1) || p.Same(0, 2) {
+		t.Errorf("Same wrong")
+	}
+	blocks := p.Blocks()
+	if len(blocks) != 2 {
+		t.Fatalf("Blocks len = %d", len(blocks))
+	}
+	q := NewPartition([]int32{0, 0, 1, 1, 0})
+	if !p.Equal(q) {
+		t.Errorf("Equal should hold up to renaming")
+	}
+	r := NewPartition([]int32{0, 1, 2, 2, 0})
+	if p.Equal(r) {
+		t.Errorf("Equal should fail")
+	}
+	if !r.Refines(p) {
+		t.Errorf("r refines p")
+	}
+	if p.Refines(r) {
+		t.Errorf("p does not refine r")
+	}
+}
+
+// randomProblem generates a random instance for cross-validation.
+func randomProblem(rng *rand.Rand, n, m, labels, blocks int) *Problem {
+	pr := &Problem{N: n, NumLabels: labels}
+	for i := 0; i < m; i++ {
+		pr.Edges = append(pr.Edges, Edge{
+			From:  int32(rng.Intn(n)),
+			Label: int32(rng.Intn(labels)),
+			To:    int32(rng.Intn(n)),
+		})
+	}
+	if blocks > 1 {
+		pr.Initial = make([]int32, n)
+		for i := range pr.Initial {
+			pr.Initial[i] = int32(rng.Intn(blocks))
+		}
+		// Densify: ensure every block id occurs.
+		for b := 0; b < blocks && b < n; b++ {
+			pr.Initial[b] = int32(b)
+		}
+	}
+	return pr
+}
+
+func TestCrossValidateNaiveVsPaigeTarjan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(14)
+		m := rng.Intn(3 * n)
+		labels := 1 + rng.Intn(3)
+		blocks := 1 + rng.Intn(3)
+		if blocks > n {
+			blocks = n
+		}
+		pr := randomProblem(rng, n, m, labels, blocks)
+		if err := pr.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid instance: %v", trial, err)
+		}
+		naive := pr.Naive()
+		pt := pr.PaigeTarjan()
+		if !naive.Equal(pt) {
+			t.Fatalf("trial %d: naive %v != PT %v\nedges=%v initial=%v",
+				trial, naive.Blocks(), pt.Blocks(), pr.Edges, pr.Initial)
+		}
+		if !pr.Stable(pt) {
+			t.Fatalf("trial %d: PT result unstable", trial)
+		}
+		initial := NewPartition(pr.initialBlocks())
+		if !pt.Refines(initial) {
+			t.Fatalf("trial %d: result does not refine initial partition", trial)
+		}
+	}
+}
+
+func TestEmptyEdgeInstance(t *testing.T) {
+	pr := &Problem{N: 3, NumLabels: 0, Initial: []int32{0, 1, 0}}
+	for name, p := range map[string]*Partition{
+		"naive": pr.Naive(),
+		"pt":    pr.PaigeTarjan(),
+	} {
+		if p.NumBlocks() != 2 {
+			t.Errorf("%s: blocks = %d, want 2", name, p.NumBlocks())
+		}
+	}
+}

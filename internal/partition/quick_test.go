@@ -1,0 +1,189 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genProblem generates random generalized-partitioning instances.
+type genProblem struct{ pr *Problem }
+
+// Generate implements quick.Generator.
+func (genProblem) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 1 + rng.Intn(maxInt(2, size))
+	labels := 1 + rng.Intn(3)
+	pr := &Problem{N: n, NumLabels: labels}
+	m := rng.Intn(3 * n)
+	for i := 0; i < m; i++ {
+		pr.Edges = append(pr.Edges, Edge{
+			From:  int32(rng.Intn(n)),
+			Label: int32(rng.Intn(labels)),
+			To:    int32(rng.Intn(n)),
+		})
+	}
+	if rng.Intn(2) == 0 {
+		blocks := 1 + rng.Intn(3)
+		if blocks > n {
+			blocks = n
+		}
+		pr.Initial = make([]int32, n)
+		for i := range pr.Initial {
+			pr.Initial[i] = int32(rng.Intn(blocks))
+		}
+		for b := 0; b < blocks; b++ {
+			pr.Initial[b] = int32(b)
+		}
+	}
+	return reflect.ValueOf(genProblem{pr: pr})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var quickCfg = &quick.Config{MaxCount: 200}
+
+// Property: both solvers produce the same partition, and it is a stable
+// refinement of the initial partition.
+func TestQuickSolversAgreeAndStable(t *testing.T) {
+	prop := func(g genProblem) bool {
+		pr := g.pr
+		if pr.Validate() != nil {
+			return false
+		}
+		naive := pr.Naive()
+		pt := pr.PaigeTarjan()
+		if !naive.Equal(pt) {
+			return false
+		}
+		if !pr.Stable(pt) {
+			return false
+		}
+		return pt.Refines(NewPartition(pr.initialBlocks()))
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the result is the COARSEST stable refinement — merging any two
+// blocks that share an initial block breaks stability. (This is the
+// defining property (3) of the generalized partitioning problem.)
+func TestQuickCoarseness(t *testing.T) {
+	prop := func(g genProblem) bool {
+		pr := g.pr
+		sol := pr.PaigeTarjan()
+		if sol.NumBlocks() < 2 {
+			return true
+		}
+		init := NewPartition(pr.initialBlocks())
+		blocks := sol.Blocks()
+		// Try merging each pair of solution blocks that lie in one initial
+		// block; every such merge must be unstable.
+		for i := 0; i < len(blocks) && i < 6; i++ {
+			for j := i + 1; j < len(blocks) && j < 6; j++ {
+				if init.Block(blocks[i][0]) != init.Block(blocks[j][0]) {
+					continue
+				}
+				merged := make([]int32, pr.N)
+				for x := 0; x < pr.N; x++ {
+					b := sol.Block(int32(x))
+					if b == int32(j) {
+						b = int32(i)
+					}
+					merged[x] = b
+				}
+				if pr.Stable(NewPartition(merged)) {
+					return false // a coarser stable partition exists
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the refinement ladder is monotone (each level refines the
+// previous), strictly increasing until the fixed point, and ends at the
+// solution.
+func TestQuickRefineSequence(t *testing.T) {
+	prop := func(g genProblem) bool {
+		pr := g.pr
+		seq := pr.RefineSequence()
+		if len(seq) == 0 {
+			return false
+		}
+		for i := 1; i < len(seq); i++ {
+			if !seq[i].Refines(seq[i-1]) {
+				return false
+			}
+			if seq[i].NumBlocks() <= seq[i-1].NumBlocks() {
+				return false // must strictly split until the fixed point
+			}
+		}
+		return seq[len(seq)-1].Equal(pr.Naive())
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Partition.Equal is an equivalence on partitions and agrees
+// with mutual refinement.
+func TestQuickEqualIsMutualRefinement(t *testing.T) {
+	prop := func(g genProblem, seed int64) bool {
+		pr := g.pr
+		p := pr.Naive()
+		// A random coarsening of p.
+		rng := rand.New(rand.NewSource(seed))
+		merge := make([]int32, p.NumBlocks())
+		for i := range merge {
+			merge[i] = int32(rng.Intn(maxInt(1, p.NumBlocks()-1)))
+		}
+		coarse := make([]int32, pr.N)
+		for x := 0; x < pr.N; x++ {
+			coarse[x] = merge[p.Block(int32(x))]
+		}
+		q := NewPartition(coarse)
+		if !p.Refines(q) {
+			return false
+		}
+		if p.Equal(q) != (p.Refines(q) && q.Refines(p)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: solving is invariant under edge duplication (Delta is a
+// relation) and edge order.
+func TestQuickEdgeMultisetInvariance(t *testing.T) {
+	prop := func(g genProblem, seed int64) bool {
+		pr := g.pr
+		base := pr.Naive()
+		rng := rand.New(rand.NewSource(seed))
+		dup := &Problem{N: pr.N, NumLabels: pr.NumLabels, Initial: pr.Initial}
+		dup.Edges = append(dup.Edges, pr.Edges...)
+		// Duplicate a few random edges and shuffle.
+		for i := 0; i < 3 && len(pr.Edges) > 0; i++ {
+			dup.Edges = append(dup.Edges, pr.Edges[rng.Intn(len(pr.Edges))])
+		}
+		rng.Shuffle(len(dup.Edges), func(i, j int) {
+			dup.Edges[i], dup.Edges[j] = dup.Edges[j], dup.Edges[i]
+		})
+		return dup.PaigeTarjan().Equal(base) && dup.Naive().Equal(base)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

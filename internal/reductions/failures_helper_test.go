@@ -1,0 +1,11 @@
+package reductions
+
+import (
+	"ccs/internal/failures"
+	"ccs/internal/fsp"
+)
+
+// failuresEq adapts the failures package for the Theorem 5.1 test.
+func failuresEq(p, q *fsp.FSP) (bool, *failures.Witness, error) {
+	return failures.Equivalent(p, q)
+}

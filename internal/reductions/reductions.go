@@ -1,0 +1,300 @@
+// Package reductions implements the constructive reductions from the
+// paper's hardness proofs. The proofs are lower-bound arguments, so they
+// cannot be "run" as theorems — but every reduction in them is an explicit
+// process transformation, and running the transformations (i) provides
+// strong correctness tests for the deciders (each reduction comes with an
+// iff that must hold) and (ii) generates the adversarial workloads used by
+// the benchmark harness to exhibit the exponential behaviour the hardness
+// results predict.
+//
+// Contents:
+//
+//   - Lemma42: universality of a total standard observable NFA over {a,b}
+//     reduced to Sigma*-ness of a restricted observable FSP (Fig. 4).
+//   - Ladder: the Theorem 4.1(b) step p' = a·(p∪q), q' = (a·p)∪(a·q) with
+//     p ≈_k q iff p' ≈_{k+1} q' (Fig. 5a).
+//   - Chaos: the r.o.u. chaos process of Fig. 5b.
+//   - AcceptToDead: the Fig. 5c transform making acceptance equal deadness.
+//   - TrivialNFA: the one-state Sigma* process q* of Fig. 5d.
+//   - Theorem51: the dead-state transform reducing language equivalence of
+//     restricted observable FSPs to failure equivalence.
+package reductions
+
+import (
+	"fmt"
+
+	"ccs/internal/fsp"
+)
+
+// Lemma42 transforms a standard observable FSP M over Sigma = {a, b} — with
+// both an a- and a b-transition leaving every state, as the lemma assumes —
+// into the restricted observable FSP M' of Fig. 4 such that
+//
+//	L(p0) = Sigma*   iff   L(p0') = Sigma*.
+//
+// M' encodes a run sigma_1 ... sigma_n of M as b sigma_1 b sigma_2 ... b
+// sigma_n, with a trailing 'a' probing acceptance: accepting states reach
+// the all-accepting trap, so a missing word of M becomes a missing word of
+// M' even though every state of M' is accepting.
+func Lemma42(m *fsp.FSP) (*fsp.FSP, error) {
+	if err := checkLemma42Input(m); err != nil {
+		return nil, err
+	}
+	n := m.NumStates()
+	numTrans := m.NumTransitions()
+
+	b := fsp.NewBuilderWith(m.Name()+"'", m.Alphabet().Clone(), m.Vars().Clone())
+	// States: originals, then the trap, then one state per transition.
+	b.AddStates(n + 1 + numTrans)
+	trap := fsp.State(n)
+	b.SetStart(m.Start())
+
+	aAct, _ := m.Alphabet().Lookup("a")
+	bAct, _ := m.Alphabet().Lookup("b")
+
+	// Accepting states of M probe into the trap with 'a'.
+	for s := 0; s < n; s++ {
+		if m.Accepting(fsp.State(s)) {
+			b.Arc(fsp.State(s), aAct, trap)
+		}
+	}
+	// Each original transition delta = (p, sigma, q) becomes p --b--> p_delta
+	// --sigma--> q.
+	next := trap + 1
+	for _, tr := range m.Transitions() {
+		b.Arc(tr.From, bAct, next)
+		b.Arc(next, tr.Act, tr.To)
+		next++
+	}
+	// The trap loops on everything.
+	b.Arc(trap, aAct, trap)
+	b.Arc(trap, bAct, trap)
+	// Restricted: every state accepting.
+	for s := 0; s < n+1+numTrans; s++ {
+		b.Accept(fsp.State(s))
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("lemma 4.2: %w", err)
+	}
+	return out, nil
+}
+
+func checkLemma42Input(m *fsp.FSP) error {
+	cls := fsp.Classify(m)
+	if !cls.Observable || !cls.Standard {
+		return fmt.Errorf("lemma 4.2: input must be standard observable")
+	}
+	aAct, okA := m.Alphabet().Lookup("a")
+	bAct, okB := m.Alphabet().Lookup("b")
+	if !okA || !okB || m.Alphabet().NumObservable() != 2 {
+		return fmt.Errorf("lemma 4.2: alphabet must be exactly {a, b}")
+	}
+	for s := 0; s < m.NumStates(); s++ {
+		if !m.HasAction(fsp.State(s), aAct) || !m.HasAction(fsp.State(s), bAct) {
+			return fmt.Errorf("lemma 4.2: state %d lacks an a- or b-transition (input must be total)", s)
+		}
+	}
+	return nil
+}
+
+// Ladder applies the inductive reduction of Theorem 4.1(b) to two
+// restricted observable processes:
+//
+//	p' = a·(p ∪ q)        q' = (a·p) ∪ (a·q)
+//
+// so that p ≈_k q iff p' ≈_{k+1} q' for k ≥ 1 (Fig. 5a). The construction
+// uses the restricted-model reading of the star-expression combinators: a·X
+// is a fresh accepting start with an a-arc onto X's start, and X ∪ Y a
+// fresh accepting start duplicating both starts' initial arcs. Both
+// processes are returned over the disjoint union of p's and q's states, so
+// repeated application composes.
+func Ladder(p, q *fsp.FSP) (*fsp.FSP, *fsp.FSP, error) {
+	for _, f := range []*fsp.FSP{p, q} {
+		cls := fsp.Classify(f)
+		if !cls.Restricted || !cls.Observable {
+			return nil, nil, fmt.Errorf("ladder: %q must be restricted observable", f.Name())
+		}
+	}
+	u, off, err := fsp.DisjointUnion(p, q)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ladder: %w", err)
+	}
+	pStart, qStart := p.Start(), off+q.Start()
+
+	pPrime, err := buildLadderSide(u, pStart, qStart, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	qPrime, err := buildLadderSide(u, pStart, qStart, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pPrime, qPrime, nil
+}
+
+// buildLadderSide constructs a·(p∪q) when union is true, (a·p)∪(a·q)
+// otherwise, on top of a copy of the combined process u.
+func buildLadderSide(u *fsp.FSP, pStart, qStart fsp.State, union bool) (*fsp.FSP, error) {
+	name := "(a.p)+(a.q)"
+	if union {
+		name = "a.(p+q)"
+	}
+	b := fsp.NewBuilderWith(name, u.Alphabet().Clone(), u.Vars().Clone())
+	n := u.NumStates()
+	b.AddStates(n)
+	for s := 0; s < n; s++ {
+		for _, a := range u.Arcs(fsp.State(s)) {
+			b.Arc(fsp.State(s), a.Act, a.To)
+		}
+	}
+	aAct := b.Action("a")
+	var start fsp.State
+	if union {
+		// p∪q: fresh state with both starts' initial arcs...
+		mid := b.AddState()
+		for _, a := range u.Arcs(pStart) {
+			b.Arc(mid, a.Act, a.To)
+		}
+		for _, a := range u.Arcs(qStart) {
+			b.Arc(mid, a.Act, a.To)
+		}
+		// ...then a· in front.
+		start = b.AddState()
+		b.Arc(start, aAct, mid)
+	} else {
+		// (a·p) ∪ (a·q): fresh start with a-arcs to both starts directly
+		// (duplicating the initial arcs of a·p and a·q onto the union
+		// state yields exactly two a-arcs).
+		start = b.AddState()
+		b.Arc(start, aAct, pStart)
+		b.Arc(start, aAct, qStart)
+	}
+	b.SetStart(start)
+	total := n + 1
+	if union {
+		total = n + 2
+	}
+	for s := 0; s < total; s++ {
+		b.Accept(fsp.State(s))
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("ladder: %w", err)
+	}
+	return out, nil
+}
+
+// Chaos returns the r.o.u. chaos process of Fig. 5b over the unary alphabet
+// {a}: a start state that can always continue or silently commit to a dead
+// end. A restricted unary state q satisfies q ≈_2 chaos iff after every
+// nonempty trace it has both a dead and a live derivative, and after every
+// trace only those.
+func Chaos() *fsp.FSP {
+	b := fsp.NewBuilder("chaos")
+	b.AddStates(2)
+	b.ArcName(0, "a", 0)
+	b.ArcName(0, "a", 1)
+	b.Accept(0)
+	b.Accept(1)
+	return b.MustBuild()
+}
+
+// TrivialNFA returns the process q* of Fig. 5d over the given observable
+// action names: a single accepting state with a self-loop for every action.
+// Its language is Sigma*, and p ≈_2 q* admits the linear-time test of
+// kequiv.EquivalentToTrivial.
+func TrivialNFA(actions ...string) *fsp.FSP {
+	b := fsp.NewBuilder("q*")
+	b.AddStates(1)
+	for _, a := range actions {
+		b.ArcName(0, a, 0)
+	}
+	b.Accept(0)
+	return b.MustBuild()
+}
+
+// AcceptToDead applies the Fig. 5c transform to a standard observable FSP:
+// the result accepts the same language but its accepting states are exactly
+// its dead states. Each accepting-but-live state p_f is made non-accepting
+// and a fresh accepting dead state p_new inherits copies of its incoming
+// transitions.
+//
+// The transform requires ε ∉ L(m) (the start state must not be both
+// accepting and live): a live accepting start would lose the empty word,
+// since the fresh dead twin has no incoming path of length zero. The
+// paper applies the transform to languages like {a}^+ where this holds.
+func AcceptToDead(m *fsp.FSP) (*fsp.FSP, error) {
+	cls := fsp.Classify(m)
+	if !cls.Observable || !cls.Standard {
+		return nil, fmt.Errorf("accept-to-dead: input must be standard observable")
+	}
+	if m.Accepting(m.Start()) && len(m.Arcs(m.Start())) > 0 {
+		return nil, fmt.Errorf("accept-to-dead: start state is accepting and live (ε ∈ L would be lost)")
+	}
+	n := m.NumStates()
+	// Count accepting live states; each gets a twin.
+	var live []fsp.State
+	for s := 0; s < n; s++ {
+		if m.Accepting(fsp.State(s)) && len(m.Arcs(fsp.State(s))) > 0 {
+			live = append(live, fsp.State(s))
+		}
+	}
+	b := fsp.NewBuilderWith(m.Name()+"-dead", m.Alphabet().Clone(), m.Vars().Clone())
+	b.AddStates(n + len(live))
+	b.SetStart(m.Start())
+	twin := map[fsp.State]fsp.State{}
+	for i, s := range live {
+		twin[s] = fsp.State(n + i)
+		b.Accept(fsp.State(n + i))
+	}
+	for s := 0; s < n; s++ {
+		if m.Accepting(fsp.State(s)) && len(m.Arcs(fsp.State(s))) == 0 {
+			b.Accept(fsp.State(s)) // already dead: stays accepting
+		}
+		for _, a := range m.Arcs(fsp.State(s)) {
+			b.Arc(fsp.State(s), a.Act, a.To)
+			if tw, ok := twin[a.To]; ok {
+				b.Arc(fsp.State(s), a.Act, tw)
+			}
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("accept-to-dead: %w", err)
+	}
+	return out, nil
+}
+
+// Theorem51 applies the dead-state transform from the PSPACE-hardness proof
+// of Theorem 5.1 to a restricted observable FSP: a fresh dead state p_dead
+// is reachable from every original state by every action, and everything is
+// accepting. For two inputs p, q it holds that
+//
+//	L(p) = L(q)   iff   p' ≡ q' (failure equivalence).
+func Theorem51(p *fsp.FSP) (*fsp.FSP, error) {
+	cls := fsp.Classify(p)
+	if !cls.Restricted || !cls.Observable {
+		return nil, fmt.Errorf("theorem 5.1: input must be restricted observable")
+	}
+	n := p.NumStates()
+	b := fsp.NewBuilderWith(p.Name()+"'", p.Alphabet().Clone(), p.Vars().Clone())
+	b.AddStates(n + 1)
+	b.SetStart(p.Start())
+	dead := fsp.State(n)
+	for s := 0; s < n; s++ {
+		for _, a := range p.Arcs(fsp.State(s)) {
+			b.Arc(fsp.State(s), a.Act, a.To)
+		}
+		for _, act := range p.Alphabet().Observable() {
+			b.Arc(fsp.State(s), act, dead)
+		}
+		b.Accept(fsp.State(s))
+	}
+	b.Accept(dead)
+	out, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("theorem 5.1: %w", err)
+	}
+	return out, nil
+}

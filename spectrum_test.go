@@ -1,0 +1,123 @@
+package ccs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSpectrumBranchingPair(t *testing.T) {
+	p := mustExpr(t, "a(b+c)")
+	q := mustExpr(t, "ab+ac")
+	rows, err := Spectrum(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"strong (~)":                  false,
+		"observation congruence (≈ᶜ)": false,
+		"observational (≈)":           false,
+		"simulation equivalence":      false,
+		"trace (≈_1)":                 true,
+	}
+	for _, row := range rows {
+		if row.Skipped {
+			if !strings.Contains(row.Relation, "failure") && row.Relation != "completed-trace" {
+				t.Errorf("unexpected skip: %+v", row)
+			}
+			continue
+		}
+		if w, ok := want[row.Relation]; ok && row.Holds != w {
+			t.Errorf("%s = %v, want %v", row.Relation, row.Holds, w)
+		}
+	}
+	// Representative FSPs are standard but not restricted: failure row must
+	// be skipped.
+	found := false
+	for _, row := range rows {
+		if strings.Contains(row.Relation, "failure") && row.Skipped {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("failure row should be skipped for non-restricted processes")
+	}
+}
+
+func TestSpectrumRestrictedPair(t *testing.T) {
+	p := mustParse(t, "states 3\nstart 0\next 0 x\next 1 x\next 2 x\narc 0 a 1\narc 1 a 2\n")
+	q := mustParse(t, "states 4\nstart 0\next 0 x\next 1 x\next 2 x\next 3 x\narc 0 a 1\narc 1 a 2\narc 0 a 3\n")
+	rows, err := Spectrum(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SpectrumVerdict{}
+	for _, row := range rows {
+		byName[row.Relation] = row
+	}
+	if byName["failure (≡)"].Skipped {
+		t.Fatalf("failure row skipped for restricted pair")
+	}
+	if byName["failure (≡)"].Holds {
+		t.Errorf("aa ≡ aa+a must fail")
+	}
+	if !strings.Contains(byName["failure (≡)"].Note, "witness") {
+		t.Errorf("failure witness missing: %+v", byName["failure (≡)"])
+	}
+	if !byName["trace (≈_1)"].Holds {
+		t.Errorf("traces must coincide")
+	}
+}
+
+// TestSpectrumInclusionsHold verifies the implication structure on random
+// restricted pairs: ~ ⇒ ≈ᶜ ⇒ ≈ ⇒ ≡ ⇒ ≈_1, and ~ ⇒ sim ⇒ ≈_1.
+func TestSpectrumInclusionsHold(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		p := randomRestricted(t, rng)
+		q := randomRestricted(t, rng)
+		rows, err := Spectrum(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := map[string]bool{}
+		for _, row := range rows {
+			if !row.Skipped {
+				v[row.Relation] = row.Holds
+			}
+		}
+		implications := [][2]string{
+			{"strong (~)", "observation congruence (≈ᶜ)"},
+			{"observation congruence (≈ᶜ)", "observational (≈)"},
+			{"observational (≈)", "failure (≡)"},
+			{"failure (≡)", "completed-trace"},
+			{"completed-trace", "trace (≈_1)"},
+			{"strong (~)", "simulation equivalence"},
+			{"simulation equivalence", "trace (≈_1)"},
+		}
+		for _, imp := range implications {
+			if v[imp[0]] && !v[imp[1]] {
+				t.Fatalf("trial %d: %s holds but %s fails", trial, imp[0], imp[1])
+			}
+		}
+	}
+}
+
+func randomRestricted(t *testing.T, rng *rand.Rand) *Process {
+	t.Helper()
+	n := 2 + rng.Intn(4)
+	b := NewBuilder("r")
+	b.AddStates(n)
+	arcs := rng.Intn(2 * n)
+	for i := 0; i < arcs; i++ {
+		act := "a"
+		if rng.Intn(2) == 0 {
+			act = "b"
+		}
+		b.ArcName(State(rng.Intn(n)), act, State(rng.Intn(n)))
+	}
+	for s := 0; s < n; s++ {
+		b.Accept(State(s))
+	}
+	return b.MustBuild()
+}
