@@ -1,0 +1,119 @@
+package ccs_test
+
+import (
+	"context"
+	"testing"
+
+	"ccs"
+)
+
+func mustExpr(t *testing.T, src string) *ccs.Process {
+	t.Helper()
+	p, err := ccs.FromExpression(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCheckerCheck(t *testing.T) {
+	c := ccs.NewChecker()
+	ctx := context.Background()
+	aa := mustExpr(t, "aa")
+	aPlusA := mustExpr(t, "a+a")
+	a := mustExpr(t, "a")
+	eq, err := c.Check(ctx, aPlusA, a, ccs.Strong, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("a+a ~ a expected")
+	}
+	eq, err = c.Check(ctx, aa, a, ccs.Trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("aa and a are not trace equivalent")
+	}
+}
+
+func TestCheckAllMixedRelations(t *testing.T) {
+	aa := mustExpr(t, "aa")
+	aPlusA := mustExpr(t, "a+a")
+	a := mustExpr(t, "a")
+	k2, k2n, err := ccs.ParseRelation("k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failure equivalence wants restricted processes (every state
+	// accepting); the interchange format builds one directly.
+	restricted, err := ccs.ParseProcessString(`fsp r
+states 2
+start 0
+ext 0 x
+ext 1 x
+arc 0 a 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []ccs.Query{
+		{P: aPlusA, Q: a, Rel: ccs.Strong},
+		{P: aa, Q: a, Rel: ccs.Weak},
+		{P: restricted, Q: restricted, Rel: ccs.Failure},
+		{P: aPlusA, Q: a, Rel: k2, K: k2n},
+	}
+	res := ccs.CheckAll(context.Background(), queries, 2)
+	want := []bool{true, false, true, true}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		if r.Equivalent != want[i] {
+			t.Errorf("query %d = %v, want %v", i, r.Equivalent, want[i])
+		}
+	}
+}
+
+func TestCheckAllBadRelation(t *testing.T) {
+	a := mustExpr(t, "a")
+	res := ccs.CheckAll(context.Background(), []ccs.Query{
+		{P: a, Q: a, Rel: ccs.Relation(42)},
+		{P: a, Q: a, Rel: ccs.Strong},
+	}, 1)
+	if res[0].Err == nil {
+		t.Error("unknown relation must error")
+	}
+	if res[1].Err != nil || !res[1].Equivalent {
+		t.Errorf("valid query alongside a bad one must still run: %+v", res[1])
+	}
+}
+
+func TestCheckAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := mustExpr(t, "a")
+	res := ccs.CheckAll(ctx, []ccs.Query{{P: a, Q: a, Rel: ccs.Strong}}, 1)
+	if res[0].Err == nil {
+		t.Error("cancelled context must surface as a per-query error")
+	}
+}
+
+// TestCheckerReuseAcrossBatches exercises the documented cache contract:
+// the same *Process value fed to successive batches keeps its artifacts.
+func TestCheckerReuseAcrossBatches(t *testing.T) {
+	c := ccs.NewChecker()
+	ctx := context.Background()
+	p := mustExpr(t, "(ab)*")
+	q := mustExpr(t, "(ab)*+0")
+	for round := 0; round < 3; round++ {
+		res := c.CheckAll(ctx, []ccs.Query{{P: p, Q: q, Rel: ccs.Weak}}, 0)
+		if res[0].Err != nil {
+			t.Fatalf("round %d: %v", round, res[0].Err)
+		}
+		if !res[0].Equivalent {
+			t.Errorf("round %d: (ab)* ≈ (ab)*+0 expected", round)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ccs"
+)
+
+// cmdBatch checks a list of process pairs concurrently through the batch
+// engine. The list file has one query per line:
+//
+//	[RELATION] A B
+//
+// where RELATION is any name ParseRelation accepts (default: the -rel
+// flag) and A, B are process files or "expr:" expressions. Blank lines and
+// '#' comments are skipped. Each process file is loaded once and shared
+// across queries, so the engine's per-process artifact cache applies.
+func cmdBatch(args []string) (*bool, error) {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	relName := fs.String("rel", "strong", "default relation for lines that name only two processes")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "overall deadline for the batch (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("batch wants one list file argument (or - for stdin)")
+	}
+	var in io.Reader = os.Stdin
+	if fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	queries, labels, err := parseBatch(in, *relName)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	poolSize := ccs.PoolSize(*workers, len(queries))
+
+	start := time.Now()
+	results := ccs.CheckAll(ctx, queries, *workers)
+	total := time.Since(start)
+
+	allEq, failed := true, 0
+	for i, r := range results {
+		switch {
+		case r.Err != nil:
+			failed++
+			fmt.Printf("%-40s error: %v\n", labels[i], r.Err)
+		case r.Equivalent:
+			fmt.Printf("%-40s equivalent      %12s\n", labels[i], r.Elapsed.Round(time.Microsecond))
+		default:
+			allEq = false
+			fmt.Printf("%-40s NOT equivalent  %12s\n", labels[i], r.Elapsed.Round(time.Microsecond))
+		}
+	}
+	fmt.Printf("%d queries in %s (%d workers)\n", len(results), total.Round(time.Millisecond), poolSize)
+	if failed > 0 {
+		return nil, fmt.Errorf("%d of %d queries failed", failed, len(results))
+	}
+	return &allEq, nil
+}
+
+// parseBatch reads the pair list, loading each distinct process argument
+// exactly once so repeated mentions share one *ccs.Process (the engine
+// cache is keyed by pointer identity). It returns the queries plus a
+// display label per query.
+func parseBatch(in io.Reader, defaultRel string) ([]ccs.Query, []string, error) {
+	procs := map[string]*ccs.Process{}
+	load := func(arg string) (*ccs.Process, error) {
+		if p, ok := procs[arg]; ok {
+			return p, nil
+		}
+		p, err := loadProcess(arg)
+		if err != nil {
+			return nil, err
+		}
+		procs[arg] = p
+		return p, nil
+	}
+
+	var queries []ccs.Query
+	var labels []string
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		relName := defaultRel
+		switch len(fields) {
+		case 2:
+			// A relation name in first position means the second process
+			// was forgotten; diagnose that instead of failing to open a
+			// file literally called "weak". (Prefix a path with ./ in the
+			// unlikely case a process file shares a relation name.)
+			if _, _, err := ccs.ParseRelation(fields[0]); err == nil {
+				return nil, nil, fmt.Errorf("line %d: relation %q needs two process arguments", lineNo, fields[0])
+			}
+		case 3:
+			relName = fields[0]
+			fields = fields[1:]
+		default:
+			return nil, nil, fmt.Errorf("line %d: want [RELATION] A B, got %d fields", lineNo, len(fields))
+		}
+		rel, k, err := ccs.ParseRelation(relName)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		p, err := load(fields[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		q, err := load(fields[1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		queries = append(queries, ccs.Query{P: p, Q: q, Rel: rel, K: k})
+		labels = append(labels, fmt.Sprintf("%s %s %s", relName, fields[0], fields[1]))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(queries) == 0 {
+		return nil, nil, fmt.Errorf("no queries in list")
+	}
+	return queries, labels, nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBatchAllEquivalent(t *testing.T) {
+	a := writeFixture(t, "a.fsp", chainTwo)
+	list := writeFixture(t, "list.txt", strings.Join([]string{
+		"# relation defaults to -rel when a line has two fields",
+		"strong " + a + " " + a,
+		"weak expr:a+a expr:a",
+		"",
+		"trace expr:ab expr:ab",
+	}, "\n"))
+	if got := run([]string{"batch", list}); got != 0 {
+		t.Errorf("batch of equivalent pairs = %d, want 0", got)
+	}
+}
+
+func TestBatchSomeInequivalent(t *testing.T) {
+	a := writeFixture(t, "a.fsp", chainTwo)
+	b := writeFixture(t, "b.fsp", chainBranch)
+	list := writeFixture(t, "list.txt",
+		"strong "+a+" "+a+"\nfailure "+a+" "+b+"\n")
+	if got := run([]string{"batch", "-workers", "2", list}); got != 1 {
+		t.Errorf("batch with an inequivalent pair = %d, want 1", got)
+	}
+}
+
+func TestBatchDefaultRelation(t *testing.T) {
+	list := writeFixture(t, "list.txt", "expr:a+a expr:a\n")
+	if got := run([]string{"batch", "-rel", "strong", list}); got != 0 {
+		t.Errorf("batch with default relation = %d, want 0", got)
+	}
+}
+
+func TestBatchBadInput(t *testing.T) {
+	list := writeFixture(t, "list.txt", "strong onlyonefieldafterrel\n")
+	if got := run([]string{"batch", list}); got != 2 {
+		t.Errorf("malformed line = %d, want 2", got)
+	}
+	empty := writeFixture(t, "empty.txt", "# nothing here\n")
+	if got := run([]string{"batch", empty}); got != 2 {
+		t.Errorf("empty list = %d, want 2", got)
+	}
+	if got := run([]string{"batch", "/nonexistent/list"}); got != 2 {
+		t.Errorf("missing list file = %d, want 2", got)
+	}
+	bad := writeFixture(t, "bad.txt", "frobnicate expr:a expr:a\n")
+	if got := run([]string{"batch", bad}); got != 2 {
+		t.Errorf("unknown relation = %d, want 2", got)
+	}
+}

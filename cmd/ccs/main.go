@@ -3,6 +3,7 @@
 // Usage:
 //
 //	ccs check  -rel strong|weak|trace|failure|kN|limitedN A B
+//	ccs batch  [-rel REL] [-workers N] LIST
 //	ccs expr   -rel ccs|language EXPR1 EXPR2
 //	ccs minimize -rel strong|weak A
 //	ccs explain [-weak] A B
@@ -40,6 +41,8 @@ func run(args []string) int {
 	switch args[0] {
 	case "check":
 		verdict, err = cmdCheck(args[1:])
+	case "batch":
+		verdict, err = cmdBatch(args[1:])
 	case "spectrum":
 		err = cmdSpectrum(args[1:])
 	case "refines":
@@ -83,6 +86,7 @@ func run(args []string) int {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   ccs check    -rel strong|weak|trace|failure|congruence|simulation|kN|limitedN A B
+  ccs batch    [-rel REL] [-workers N] [-timeout D] LIST   # concurrent pair list
   ccs spectrum A B
   ccs refines  SPEC IMPL
   ccs divergent A
@@ -96,7 +100,8 @@ func usage() {
   ccs aut      A            # convert to Aldebaran .aut (CADP/mCRL2)
 
 A and B are process files (native format, or .aut by extension), or star
-expressions prefixed "expr:".
+expressions prefixed "expr:". The batch LIST (or - for stdin) has one
+"[RELATION] A B" query per line; '#' starts a comment.
 HML formulas: tt, ff, <a>phi, [a]phi, !phi, phi&phi, phi|phi, ext(x);
 with -weak the process is saturated first and <eps> is available.
 `)

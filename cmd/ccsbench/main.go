@@ -1,6 +1,7 @@
 // Command ccsbench regenerates the paper's tables and figures as terminal
-// tables — one experiment per artifact, indexed E1..E13 (see DESIGN.md for
-// the experiment-to-paper mapping and EXPERIMENTS.md for recorded results).
+// tables — one experiment per artifact, indexed E1..E15 (see DESIGN.md for
+// the experiment-to-paper mapping and EXPERIMENTS.md for recorded results;
+// E15 measures the batch equivalence engine rather than a paper claim).
 //
 // Usage:
 //
@@ -16,7 +17,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e13) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e15) or 'all'")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	flag.Parse()
@@ -49,6 +50,7 @@ func experiments() []experiment {
 		{"e12", "Section 2.3(3): distributivity, language vs CCS", runE12},
 		{"e13", "Thm 4.1(c) / Fig. 5b,5d: chaos and the trivial NFA", runE13},
 		{"e14", "Section 6: extended star expressions are succinct", runE14},
+		{"e15", "Batch engine: cached + pooled checking vs one-shot loop", runE15},
 	}
 }
 

@@ -1,0 +1,378 @@
+// Package engine provides a reusable, concurrent batch equivalence-checking
+// engine on top of the single-shot algorithms in core, kequiv, failures and
+// simulation.
+//
+// The two ideas are:
+//
+//   - Per-process artifact caching. Deciding p ≈ q by Theorem 4.1(a)
+//     saturates and partitions from scratch on every call, even when the
+//     same process appears in many queries. A Checker derives each
+//     process's expensive artifacts — tau-closure, saturated P-hat, and the
+//     canonical quotients modulo ~ and ≈ — exactly once, so a query against
+//     an already-seen process pays only a small check on the minimized
+//     quotients (valid by transitivity: p ~ min~(p) ⊆ ≈ᶜ, p ≈ min≈(p), and
+//     ≈ refines every ≈_k and ≃_k, Propositions 2.2.1 and 2.2.3). The one
+//     exception is Failure, which runs on the originals so that the
+//     restrictedness validation of the one-shot checker is preserved.
+//
+//   - Batch fan-out. CheckAll spreads a list of (p, q, relation) queries
+//     over a worker pool with context.Context cancellation, returning
+//     per-pair verdicts and timings.
+//
+// Processes are immutable (see fsp.FSP), so the cache is keyed by pointer
+// identity: pass the same *fsp.FSP value to benefit from reuse.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccs/internal/core"
+	"ccs/internal/failures"
+	"ccs/internal/fsp"
+	"ccs/internal/kequiv"
+	"ccs/internal/simulation"
+)
+
+// Relation selects an equivalence notion for a batch query. It mirrors the
+// facade's Table II enumeration; the facade maps its own constants onto
+// these.
+type Relation int
+
+const (
+	// Strong is strong equivalence ~ (Definition 2.2.3).
+	Strong Relation = iota + 1
+	// Weak is observational equivalence ≈ (Definition 2.2.1).
+	Weak
+	// Trace is language equivalence ≈_1 (Proposition 2.2.3b).
+	Trace
+	// Failure is failure equivalence ≡ (Definition 2.2.4).
+	Failure
+	// Congruence is Milner's observation congruence ≈ᶜ.
+	Congruence
+	// Simulation is mutual strong similarity.
+	Simulation
+	// K is the bounded approximant ≈_k; Query.K carries k.
+	K
+	// Limited is the bounded approximant ≃_k; Query.K carries k.
+	Limited
+)
+
+func (r Relation) String() string {
+	switch r {
+	case Strong:
+		return "strong"
+	case Weak:
+		return "weak"
+	case Trace:
+		return "trace"
+	case Failure:
+		return "failure"
+	case Congruence:
+		return "congruence"
+	case Simulation:
+		return "simulation"
+	case K:
+		return "k-observational"
+	case Limited:
+		return "k-limited"
+	default:
+		return "unknown"
+	}
+}
+
+// Query is one equivalence question: are the start states of P and Q
+// related by Rel? K is the bound for the approximant relations K and
+// Limited and is ignored otherwise.
+type Query struct {
+	P, Q *fsp.FSP
+	Rel  Relation
+	K    int
+}
+
+// Result is the outcome of one Query.
+type Result struct {
+	// Index is the position of the query in the CheckAll input slice.
+	Index int
+	// Equivalent is the verdict; meaningful only when Err is nil.
+	Equivalent bool
+	// Err reports a failed check — malformed input, an unknown relation,
+	// or context cancellation before the query ran.
+	Err error
+	// Elapsed is the wall time this query took inside its worker. Queries
+	// skipped by cancellation report zero.
+	Elapsed time.Duration
+}
+
+// Checker is a concurrency-safe batch equivalence checker with a
+// per-process artifact cache. The zero value is not usable; call New.
+type Checker struct {
+	opts []core.Option
+
+	mu    sync.Mutex
+	procs map[*fsp.FSP]*artifacts
+}
+
+// New returns an empty Checker. Options (e.g. core.WithAlgorithm) are
+// passed through to every partition solve.
+func New(opts ...core.Option) *Checker {
+	return &Checker{opts: opts, procs: map[*fsp.FSP]*artifacts{}}
+}
+
+// artifacts caches the derived forms of one process. Each field group is
+// guarded by its own sync.Once so concurrent queries derive it exactly
+// once; later queries get the memoized value immediately.
+type artifacts struct {
+	f *fsp.FSP
+
+	closureOnce sync.Once
+	closure     fsp.Closure
+
+	satOnce sync.Once
+	sat     *fsp.FSP
+	satEps  fsp.Action
+	satErr  error
+
+	strongOnce sync.Once
+	strongMin  *fsp.FSP
+	strongErr  error
+
+	weakOnce sync.Once
+	weakMin  *fsp.FSP
+	weakErr  error
+}
+
+// art returns the (possibly fresh) artifact record for p.
+func (c *Checker) art(p *fsp.FSP) *artifacts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.procs[p]
+	if !ok {
+		a = &artifacts{f: p}
+		c.procs[p] = a
+	}
+	return a
+}
+
+// Processes reports how many distinct processes the cache has seen.
+func (c *Checker) Processes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.procs)
+}
+
+// Closure returns the memoized tau-closure of p.
+func (c *Checker) Closure(p *fsp.FSP) fsp.Closure {
+	a := c.art(p)
+	a.closureOnce.Do(func() { a.closure = fsp.TauClosure(p) })
+	return a.closure
+}
+
+// Saturated returns the memoized observable form P-hat of Theorem 4.1(a)
+// together with its epsilon action. It builds on the memoized tau-closure,
+// so Closure and Saturated share one closure computation.
+func (c *Checker) Saturated(p *fsp.FSP) (*fsp.FSP, fsp.Action, error) {
+	a := c.art(p)
+	a.satOnce.Do(func() { a.sat, a.satEps, a.satErr = fsp.SaturateWith(p, c.Closure(p)) })
+	return a.sat, a.satEps, a.satErr
+}
+
+// StrongQuotient returns the memoized canonical quotient of p modulo ~.
+func (c *Checker) StrongQuotient(p *fsp.FSP) (*fsp.FSP, error) {
+	a := c.art(p)
+	a.strongOnce.Do(func() { a.strongMin, _, a.strongErr = core.QuotientStrong(p, c.opts...) })
+	return a.strongMin, a.strongErr
+}
+
+// WeakQuotient returns the memoized canonical quotient of p modulo ≈.
+func (c *Checker) WeakQuotient(p *fsp.FSP) (*fsp.FSP, error) {
+	a := c.art(p)
+	a.weakOnce.Do(func() { a.weakMin, _, a.weakErr = core.QuotientWeak(p, c.opts...) })
+	return a.weakMin, a.weakErr
+}
+
+// Check answers one query synchronously, consulting and populating the
+// artifact cache. A pointer-identical pair short-circuits to true: every
+// supported relation is reflexive.
+func (c *Checker) Check(ctx context.Context, q Query) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if q.P == nil || q.Q == nil {
+		return false, fmt.Errorf("engine: nil process in query")
+	}
+	if q.P == q.Q {
+		switch q.Rel {
+		case Strong, Weak, Trace, Congruence, Simulation, K, Limited:
+			return true, nil
+		case Failure:
+			// Reflexive too, but Equivalent validates restrictedness;
+			// fall through so malformed inputs still error.
+		default:
+			return false, fmt.Errorf("engine: unknown relation %d", q.Rel)
+		}
+	}
+	switch q.Rel {
+	case Strong:
+		minP, minQ, err := c.strongPair(q)
+		if err != nil {
+			return false, err
+		}
+		return core.StrongEquivalent(minP, minQ, c.opts...)
+	case Weak:
+		minP, minQ, err := c.weakPair(q)
+		if err != nil {
+			return false, err
+		}
+		// Saturation distributes over disjoint union (the tau-closure of a
+		// union is the union of the tau-closures), so p ≈ q reduces to
+		// strong equivalence of the cached saturated quotients — no
+		// per-pair saturation at all, just one partition solve.
+		satP, _, err := c.Saturated(minP)
+		if err != nil {
+			return false, err
+		}
+		satQ, _, err := c.Saturated(minQ)
+		if err != nil {
+			return false, err
+		}
+		return core.StrongEquivalent(satP, satQ, c.opts...)
+	case Trace:
+		minP, minQ, err := c.weakPair(q)
+		if err != nil {
+			return false, err
+		}
+		return kequiv.Equivalent(minP, minQ, 1)
+	case K:
+		minP, minQ, err := c.weakPair(q)
+		if err != nil {
+			return false, err
+		}
+		return kequiv.Equivalent(minP, minQ, q.K)
+	case Limited:
+		// ≈ refines ≃_k for every k (Proposition 2.2.1c), so the cached
+		// ≈-quotients decide ≃_k by transitivity, like Trace and K.
+		minP, minQ, err := c.weakPair(q)
+		if err != nil {
+			return false, err
+		}
+		u, off, err := fsp.DisjointUnion(minP, minQ)
+		if err != nil {
+			return false, err
+		}
+		return core.LimitedEquivalentStates(u, minP.Start(), off+minQ.Start(), q.K)
+	case Failure:
+		// Deliberately uncached: failures.Equivalent validates that both
+		// inputs are restricted, and quotienting can erase the evidence
+		// (a tau self-loop vanishes inside its class), so the check must
+		// see the originals to keep the one-shot error contract.
+		eq, _, err := failures.Equivalent(q.P, q.Q)
+		return eq, err
+	case Congruence:
+		// The root condition inspects initial tau moves, which the weak
+		// quotient may erase — but the strong quotient preserves them:
+		// ~ is contained in ≈ᶜ, so p ≈ᶜ min~(p) and transitivity gives
+		// the reduction.
+		minP, minQ, err := c.strongPair(q)
+		if err != nil {
+			return false, err
+		}
+		return core.ObservationCongruent(minP, minQ, c.opts...)
+	case Simulation:
+		minP, minQ, err := c.strongPair(q)
+		if err != nil {
+			return false, err
+		}
+		return simulation.Equivalent(minP, minQ)
+	default:
+		return false, fmt.Errorf("engine: unknown relation %d", q.Rel)
+	}
+}
+
+// strongPair returns the cached ~-quotients of the query's processes.
+// p ~ q iff min~(p) ~ min~(q), and mutual similarity is likewise invariant
+// under ~-quotienting, so Strong and Simulation queries run on the minima.
+func (c *Checker) strongPair(q Query) (*fsp.FSP, *fsp.FSP, error) {
+	minP, err := c.StrongQuotient(q.P)
+	if err != nil {
+		return nil, nil, err
+	}
+	minQ, err := c.StrongQuotient(q.Q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return minP, minQ, nil
+}
+
+// weakPair returns the cached ≈-quotients. p ≈ min≈(p), and ≈ refines ≈_k
+// for every k (Proposition 2.2.1), so Weak, Trace and K queries all reduce
+// to the same pair of minima by transitivity.
+func (c *Checker) weakPair(q Query) (*fsp.FSP, *fsp.FSP, error) {
+	minP, err := c.WeakQuotient(q.P)
+	if err != nil {
+		return nil, nil, err
+	}
+	minQ, err := c.WeakQuotient(q.Q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return minP, minQ, nil
+}
+
+// PoolSize resolves a requested worker count the way CheckAll does:
+// non-positive means GOMAXPROCS, and never more than one worker per query.
+func PoolSize(workers, queries int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > queries {
+		workers = queries
+	}
+	return workers
+}
+
+// CheckAll fans the queries out over a pool of workers and returns one
+// Result per query, in input order. workers <= 0 selects GOMAXPROCS
+// workers. Cancelling the context stops new queries from starting
+// (in-flight queries run to completion, as the underlying algorithms are
+// not interruptible); skipped queries carry the context error.
+func (c *Checker) CheckAll(ctx context.Context, queries []Query, workers int) []Result {
+	results := make([]Result, len(queries))
+	if len(queries) == 0 {
+		return results
+	}
+	workers = PoolSize(workers, len(queries))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(queries) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					results[i] = Result{Index: i, Err: err}
+					continue
+				}
+				start := time.Now()
+				eq, err := c.Check(ctx, queries[i])
+				results[i] = Result{
+					Index:      i,
+					Equivalent: eq,
+					Err:        err,
+					Elapsed:    time.Since(start),
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,350 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ccs/internal/core"
+	"ccs/internal/failures"
+	"ccs/internal/fsp"
+	"ccs/internal/gen"
+	"ccs/internal/kequiv"
+	"ccs/internal/simulation"
+)
+
+func buildTauA() *fsp.FSP {
+	b := fsp.NewBuilder("tau.a")
+	b.AddStates(3)
+	b.ArcName(0, fsp.TauName, 1)
+	b.ArcName(1, "a", 2)
+	return b.MustBuild()
+}
+
+func buildA() *fsp.FSP {
+	b := fsp.NewBuilder("a")
+	b.AddStates(2)
+	b.ArcName(0, "a", 1)
+	return b.MustBuild()
+}
+
+func TestCheckKnownPairs(t *testing.T) {
+	tauA, a := buildTauA(), buildA()
+	ctx := context.Background()
+	c := New()
+	cases := []struct {
+		rel  Relation
+		k    int
+		want bool
+	}{
+		{Strong, 0, false},     // tau.a has a tau move a cannot match
+		{Weak, 0, true},        // Milner's tau law
+		{Trace, 0, true},       // weak implies trace
+		{Congruence, 0, false}, // the classic root-condition separation
+		{K, 2, true},
+		{Limited, 2, true},
+	}
+	for _, tc := range cases {
+		got, err := c.Check(ctx, Query{P: tauA, Q: a, Rel: tc.rel, K: tc.k})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.rel, err)
+		}
+		if got != tc.want {
+			t.Errorf("tau.a vs a under %v = %v, want %v", tc.rel, got, tc.want)
+		}
+	}
+}
+
+func TestCheckReflexive(t *testing.T) {
+	p := buildTauA()
+	c := New()
+	for _, rel := range []Relation{Strong, Weak, Trace, Congruence, Simulation, K, Limited} {
+		eq, err := c.Check(context.Background(), Query{P: p, Q: p, Rel: rel, K: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", rel, err)
+		}
+		if !eq {
+			t.Errorf("%v must be reflexive", rel)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	c := New()
+	ctx := context.Background()
+	if _, err := c.Check(ctx, Query{P: nil, Q: buildA(), Rel: Strong}); err == nil {
+		t.Error("nil process must error")
+	}
+	if _, err := c.Check(ctx, Query{P: buildA(), Q: buildA(), Rel: Relation(99)}); err == nil {
+		t.Error("unknown relation must error")
+	}
+}
+
+// TestCheckMatchesDirect cross-checks every cached relation against the
+// one-shot implementations on random tau-rich processes.
+func TestCheckMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := New()
+	ctx := context.Background()
+	var procs []*fsp.FSP
+	for i := 0; i < 6; i++ {
+		procs = append(procs, gen.Random(rng, 12+rng.Intn(12), 40, 2, 0.4))
+	}
+	for i, p := range procs {
+		for j, q := range procs {
+			for _, rel := range []Relation{Strong, Weak, Trace, Simulation, Congruence, K, Limited} {
+				got, err := c.Check(ctx, Query{P: p, Q: q, Rel: rel, K: 2})
+				if err != nil {
+					t.Fatalf("engine %v(%d,%d): %v", rel, i, j, err)
+				}
+				var want bool
+				switch rel {
+				case Strong:
+					want, err = core.StrongEquivalent(p, q)
+				case Weak:
+					want, err = core.WeakEquivalent(p, q)
+				case Trace:
+					want, err = kequiv.Equivalent(p, q, 1)
+				case Simulation:
+					want, err = simulation.Equivalent(p, q)
+				case Congruence:
+					want, err = core.ObservationCongruent(p, q)
+				case K:
+					want, err = kequiv.Equivalent(p, q, 2)
+				case Limited:
+					var u *fsp.FSP
+					var off fsp.State
+					u, off, err = fsp.DisjointUnion(p, q)
+					if err == nil {
+						want, err = core.LimitedEquivalentStates(u, p.Start(), off+q.Start(), 2)
+					}
+				}
+				if err != nil {
+					t.Fatalf("direct %v(%d,%d): %v", rel, i, j, err)
+				}
+				if got != want {
+					t.Errorf("%v(%d,%d): engine=%v direct=%v", rel, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckFailureRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := New()
+	ctx := context.Background()
+	for trial := 0; trial < 5; trial++ {
+		p := gen.RandomRestricted(rng, 10, 30, 2)
+		q := gen.RandomRestricted(rng, 10, 30, 2)
+		got, err := c.Check(ctx, Query{P: p, Q: q, Rel: Failure})
+		if err != nil {
+			t.Fatalf("engine failure: %v", err)
+		}
+		want, _, err := failures.Equivalent(p, q)
+		if err != nil {
+			t.Fatalf("direct failure: %v", err)
+		}
+		if got != want {
+			t.Errorf("failure trial %d: engine=%v direct=%v", trial, got, want)
+		}
+	}
+}
+
+func TestArtifactsMemoized(t *testing.T) {
+	p := buildTauA()
+	c := New()
+	s1, eps1, err := c.Saturated(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, eps2, err := c.Saturated(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || eps1 != eps2 {
+		t.Error("Saturated must return the memoized artifact")
+	}
+	m1, err := c.WeakQuotient(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c.WeakQuotient(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("WeakQuotient must return the memoized artifact")
+	}
+	if got := c.Processes(); got != 1 {
+		t.Errorf("Processes = %d, want 1", got)
+	}
+}
+
+func TestCheckAllOrderAndTimings(t *testing.T) {
+	tauA, a := buildTauA(), buildA()
+	queries := []Query{
+		{P: tauA, Q: a, Rel: Weak},
+		{P: tauA, Q: a, Rel: Strong},
+		{P: a, Q: a, Rel: Strong},
+	}
+	for _, workers := range []int{0, 1, 2, 17} {
+		res := New().CheckAll(context.Background(), queries, workers)
+		if len(res) != len(queries) {
+			t.Fatalf("workers=%d: %d results", workers, len(res))
+		}
+		want := []bool{true, false, true}
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("workers=%d query %d: %v", workers, i, r.Err)
+			}
+			if r.Index != i {
+				t.Errorf("workers=%d: result %d has index %d", workers, i, r.Index)
+			}
+			if r.Equivalent != want[i] {
+				t.Errorf("workers=%d query %d = %v, want %v", workers, i, r.Equivalent, want[i])
+			}
+			if r.Elapsed < 0 {
+				t.Errorf("workers=%d query %d: negative elapsed", workers, i)
+			}
+		}
+	}
+}
+
+func TestCheckAllEmpty(t *testing.T) {
+	if res := New().CheckAll(context.Background(), nil, 4); len(res) != 0 {
+		t.Errorf("empty batch returned %d results", len(res))
+	}
+}
+
+func TestCheckAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tauA, a := buildTauA(), buildA()
+	res := New().CheckAll(ctx, []Query{{P: tauA, Q: a, Rel: Weak}, {P: a, Q: a, Rel: Strong}}, 2)
+	for i, r := range res {
+		if r.Err == nil {
+			t.Errorf("query %d: want context error, got verdict %v", i, r.Equivalent)
+		}
+	}
+}
+
+// TestCheckAllConcurrentSharedCache hammers one Checker from many workers
+// over a small shared process pool so the race detector can see the cache
+// paths: the artifacts map, the per-artifact sync.Once fields, and result
+// slot writes.
+func TestCheckAllConcurrentSharedCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var procs []*fsp.FSP
+	for i := 0; i < 4; i++ {
+		procs = append(procs, gen.Random(rng, 20, 60, 2, 0.3))
+	}
+	var queries []Query
+	rels := []Relation{Strong, Weak, Trace, Simulation}
+	for i := 0; i < 64; i++ {
+		queries = append(queries, Query{
+			P:   procs[rng.Intn(len(procs))],
+			Q:   procs[rng.Intn(len(procs))],
+			Rel: rels[i%len(rels)],
+		})
+	}
+	c := New()
+	res := c.CheckAll(context.Background(), queries, 8)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+	}
+	// A second pass over the warmed cache must agree verdict for verdict.
+	res2 := c.CheckAll(context.Background(), queries, 8)
+	for i := range res {
+		if res[i].Equivalent != res2[i].Equivalent {
+			t.Errorf("query %d: cold=%v warm=%v", i, res[i].Equivalent, res2[i].Equivalent)
+		}
+	}
+	// The cache composes: the weak path re-enters it with the quotient
+	// processes, so entries >= the distinct inputs.
+	if got := c.Processes(); got < len(procs) {
+		t.Errorf("Processes = %d, want >= %d", got, len(procs))
+	}
+}
+
+// TestConcurrentArtifactAccess drives the artifact accessors themselves
+// from many goroutines.
+func TestConcurrentArtifactAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := gen.Random(rng, 30, 90, 2, 0.4)
+	c := New()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 4 {
+			case 0:
+				c.Closure(p)
+			case 1:
+				if _, _, err := c.Saturated(p); err != nil {
+					errs <- err
+				}
+			case 2:
+				if _, err := c.StrongQuotient(p); err != nil {
+					errs <- err
+				}
+			case 3:
+				if _, err := c.WeakQuotient(p); err != nil {
+					errs <- err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	for rel, want := range map[Relation]string{
+		Strong: "strong", Weak: "weak", Trace: "trace", Failure: "failure",
+		Congruence: "congruence", Simulation: "simulation",
+		K: "k-observational", Limited: "k-limited", Relation(0): "unknown",
+	} {
+		if got := rel.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", rel, got, want)
+		}
+	}
+}
+
+func BenchmarkCheckAllWeak(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var procs []*fsp.FSP
+	for i := 0; i < 8; i++ {
+		procs = append(procs, gen.Random(rng, 64, 256, 2, 0.3))
+	}
+	var queries []Query
+	for i := 0; i < 50; i++ {
+		queries = append(queries, Query{
+			P:   procs[rng.Intn(len(procs))],
+			Q:   procs[rng.Intn(len(procs))],
+			Rel: Weak,
+		})
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := New().CheckAll(context.Background(), queries, workers)
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -2,7 +2,7 @@ package fsp
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 )
 
 // EpsilonName is the action name used for the empty-string relation ==eps=>
@@ -11,50 +11,119 @@ import (
 const EpsilonName = "ε"
 
 // Closure holds the reflexive-transitive tau-closure of an FSP: for each
-// state p, the sorted set of states reachable from p by zero or more tau
+// state p, the set of states reachable from p by zero or more tau
 // transitions (p ==eps=> p' in the notation of Section 2.1).
+//
+// Storage is dual: closure sets are word-packed bitset rows (one row per
+// state, bit t of row p set iff p ==eps=> t), with sorted slices
+// materialized once for the Of accessor. All set algebra — ExpandSet,
+// WeakDest, the Saturate weak-derivative construction — runs on the rows,
+// where union is a word-wide OR and enumeration a popcount scan, replacing
+// the former map[State]struct{}-and-sort churn with cache-friendly linear
+// passes. A state with no tau arcs into other states has the trivial
+// closure {s}; its row stays nil (meaning "singleton") so tau-sparse
+// processes pay O(tau-states · n/64) words, not a dense n×n matrix. See
+// the DESIGN note on TauClosure below.
 type Closure struct {
+	n    int
+	rows []bitRow
 	sets [][]State
+}
+
+// orInto unions the closure of s into acc, treating a nil row as the
+// singleton {s}.
+func (c Closure) orInto(acc bitRow, s State) {
+	if row := c.rows[s]; row != nil {
+		acc.or(row)
+	} else {
+		acc.set(s)
+	}
 }
 
 // TauClosure computes the tau-closure by a BFS from every state over the
 // tau-labelled subgraph. This replaces the paper's matrix-multiplication
 // transitive closure (O(n^2.376)) with an O(n(n+m)) sparse traversal; see
 // DESIGN.md section 4.
+//
+// DESIGN (bitset closure): each non-trivial closure set is a bitRow over
+// the state universe, all rows carved from a single backing slab sized by
+// the number of tau-source states only — states without tau arcs into
+// other states keep a nil row standing for the singleton {s} (and share
+// one identity slice for Of), so a tau-free NFA costs O(n), not O(n²/64)
+// words. The BFS marks visited states directly in the row (bit order is
+// state order, so the materialized slice needs no sort), and when it
+// reaches a state whose row is already complete it ORs that row in
+// wholesale instead of re-walking the subgraph — closure(t) is
+// transitively closed, so its members need no further expansion.
+// Downstream consumers build weak derivatives by OR-ing rows: O(n/64)
+// words per union instead of O(n log n) sorting.
 func TauClosure(f *FSP) Closure {
 	n := f.NumStates()
 	tauAdj := make([][]State, n)
+	numReal := 0
 	for s := 0; s < n; s++ {
 		for _, a := range f.adj[s] {
-			if a.Act == Tau {
+			// Tau self-loops never change any closure; dropping them here
+			// both shrinks the slab and keeps the BFS loop-free.
+			if a.Act == Tau && a.To != State(s) {
 				tauAdj[s] = append(tauAdj[s], a.To)
 			}
 		}
+		if len(tauAdj[s]) > 0 {
+			numReal++
+		}
 	}
+	// selfs is the shared identity: sets[s] for a singleton state aliases
+	// selfs[s : s+1].
+	selfs := make([]State, n)
+	for s := range selfs {
+		selfs[s] = State(s)
+	}
+	words := (n + 63) / 64
+	slab := make([]uint64, numReal*words)
+	rows := make([]bitRow, n)
 	sets := make([][]State, n)
-	seen := make([]bool, n)
-	queue := make([]State, 0, n)
+	done := make([]bool, n)
 	for s := 0; s < n; s++ {
+		if len(tauAdj[s]) == 0 {
+			done[s] = true
+			// Full three-index slice: no spare capacity, so a caller
+			// appending to Of(s) cannot clobber its neighbours' sets.
+			sets[s] = selfs[s : s+1 : s+1]
+		}
+	}
+	queue := make([]State, 0, n)
+	next := 0
+	for s := 0; s < n; s++ {
+		if done[s] {
+			continue
+		}
+		row := bitRow(slab[next*words : (next+1)*words])
+		next++
+		rows[s] = row
 		queue = queue[:0]
 		queue = append(queue, State(s))
-		seen[s] = true
+		row.set(State(s))
 		for i := 0; i < len(queue); i++ {
 			for _, t := range tauAdj[queue[i]] {
-				if !seen[t] {
-					seen[t] = true
+				if done[t] {
+					if rows[t] != nil {
+						row.or(rows[t])
+					} else {
+						row.set(t)
+					}
+					continue
+				}
+				if !row.has(t) {
+					row.set(t)
 					queue = append(queue, t)
 				}
 			}
 		}
-		set := make([]State, len(queue))
-		copy(set, queue)
-		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
-		sets[s] = set
-		for _, t := range queue {
-			seen[t] = false
-		}
+		done[s] = true
+		sets[s] = row.states()
 	}
-	return Closure{sets: sets}
+	return Closure{n: n, rows: rows, sets: sets}
 }
 
 // Of returns the tau-closure of s in increasing state order. The slice is
@@ -64,18 +133,45 @@ func (c Closure) Of(s State) []State { return c.sets[s] }
 // ExpandSet returns the union of the tau-closures of the given states,
 // sorted and deduplicated.
 func (c Closure) ExpandSet(set []State) []State {
-	mark := map[State]struct{}{}
+	acc := newBitRow(c.n)
 	for _, s := range set {
-		for _, t := range c.sets[s] {
-			mark[t] = struct{}{}
+		c.orInto(acc, s)
+	}
+	return acc.states()
+}
+
+// succInto ORs into acc the closures of the sigma-successors of p:
+// acc |= ⋃ {closure(q) : p --sigma--> q}.
+func (c Closure) succInto(f *FSP, p State, sigma Action, acc bitRow) {
+	arcs := f.adj[p]
+	lo, hi := f.destSpan(p, sigma)
+	for k := lo; k < hi; k++ {
+		c.orInto(acc, arcs[k].To)
+	}
+}
+
+// weakDestRow ORs into acc the closure rows of all sigma-successors of the
+// members of src: acc |= ⋃ {closure(q) : p ∈ src, p --sigma--> q}. When src
+// is a closure row this is exactly the weak derivative set of Section 2.1.
+func (c Closure) weakDestRow(f *FSP, src bitRow, sigma Action, acc bitRow) {
+	for i, w := range src {
+		base := State(i << 6)
+		for w != 0 {
+			p := base + State(bits.TrailingZeros64(w))
+			w &= w - 1
+			c.succInto(f, p, sigma, acc)
 		}
 	}
-	out := make([]State, 0, len(mark))
-	for s := range mark {
-		out = append(out, s)
+}
+
+// weakDestFrom is weakDestRow for a single source state, transparently
+// handling the nil-row singleton representation.
+func (c Closure) weakDestFrom(f *FSP, from State, sigma Action, acc bitRow) {
+	if row := c.rows[from]; row != nil {
+		c.weakDestRow(f, row, sigma, acc)
+		return
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	c.succInto(f, from, sigma, acc)
 }
 
 // Saturate builds the observable FSP P-hat of Theorem 4.1(a): it has the
@@ -89,10 +185,15 @@ func (c Closure) ExpandSet(set []State) []State {
 // (Propositions 2.2.1 and 2.2.2). The epsilon Action used is returned so
 // callers can distinguish it from real alphabet members.
 func Saturate(f *FSP) (*FSP, Action, error) {
+	return SaturateWith(f, TauClosure(f))
+}
+
+// SaturateWith is Saturate for callers that already hold the tau-closure
+// of f (e.g. a cache), sparing its recomputation.
+func SaturateWith(f *FSP, clo Closure) (*FSP, Action, error) {
 	if _, taken := f.alphabet.Lookup(EpsilonName); taken {
 		return nil, 0, fmt.Errorf("alphabet already contains %q; cannot saturate", EpsilonName)
 	}
-	clo := TauClosure(f)
 	alpha := f.alphabet.Clone()
 	eps := alpha.Intern(EpsilonName)
 
@@ -106,8 +207,9 @@ func Saturate(f *FSP) (*FSP, Action, error) {
 		}
 	}
 
-	// mark is scratch for per-(state,action) destination sets.
-	mark := make([]bool, n)
+	// acc and dests are scratch for per-(state,action) destination sets;
+	// each weak derivative set is built by OR-ing closure rows.
+	acc := newBitRow(n)
 	var dests []State
 	for s := 0; s < n; s++ {
 		// Epsilon arcs: the closure itself (reflexive, so every state has
@@ -117,20 +219,11 @@ func Saturate(f *FSP) (*FSP, Action, error) {
 		}
 		// For each observable sigma: closure(s) --sigma--> then closure.
 		for _, sigma := range f.alphabet.Observable() {
-			dests = dests[:0]
-			for _, p := range clo.Of(State(s)) {
-				for _, q := range f.Dest(p, sigma) {
-					for _, r := range clo.Of(q) {
-						if !mark[r] {
-							mark[r] = true
-							dests = append(dests, r)
-						}
-					}
-				}
-			}
+			acc.clear()
+			clo.weakDestFrom(f, State(s), sigma, acc)
+			dests = acc.appendStates(dests[:0])
 			for _, d := range dests {
 				b.Arc(State(s), sigma, d)
-				mark[d] = false
 			}
 		}
 	}
@@ -144,40 +237,20 @@ func Saturate(f *FSP) (*FSP, Action, error) {
 // WeakDest returns the set of sigma-weak-derivatives {q : from ==sigma=> q}
 // for a single observable action, computed from a precomputed closure.
 func WeakDest(f *FSP, clo Closure, from State, sigma Action) []State {
-	mark := map[State]struct{}{}
-	for _, p := range clo.Of(from) {
-		for _, q := range f.Dest(p, sigma) {
-			for _, r := range clo.Of(q) {
-				mark[r] = struct{}{}
-			}
-		}
-	}
-	out := make([]State, 0, len(mark))
-	for s := range mark {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	acc := newBitRow(clo.n)
+	clo.weakDestFrom(f, from, sigma, acc)
+	return acc.states()
 }
 
 // WeakDestSet is WeakDest lifted to a set of source states.
 func WeakDestSet(f *FSP, clo Closure, from []State, sigma Action) []State {
-	mark := map[State]struct{}{}
+	src := newBitRow(clo.n)
 	for _, s := range from {
-		for _, p := range clo.Of(s) {
-			for _, q := range f.Dest(p, sigma) {
-				for _, r := range clo.Of(q) {
-					mark[r] = struct{}{}
-				}
-			}
-		}
+		clo.orInto(src, s)
 	}
-	out := make([]State, 0, len(mark))
-	for s := range mark {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	acc := newBitRow(clo.n)
+	clo.weakDestRow(f, src, sigma, acc)
+	return acc.states()
 }
 
 // SDerivatives returns the s-derivatives of from: all states p' such that

@@ -80,12 +80,25 @@ func (f *FSP) Arcs(s State) []Arc { return f.adj[s] }
 // Dest returns the destinations Delta(s, act) in increasing state order.
 func (f *FSP) Dest(s State, act Action) []State {
 	arcs := f.adj[s]
-	lo := sort.Search(len(arcs), func(i int) bool { return arcs[i].Act >= act })
+	lo, hi := f.destSpan(s, act)
 	var out []State
-	for i := lo; i < len(arcs) && arcs[i].Act == act; i++ {
+	for i := lo; i < hi; i++ {
 		out = append(out, arcs[i].To)
 	}
 	return out
+}
+
+// destSpan returns the half-open index range [lo, hi) of f.adj[s] holding
+// the arcs labelled act, letting hot paths iterate destinations without
+// allocating the slice Dest returns.
+func (f *FSP) destSpan(s State, act Action) (int, int) {
+	arcs := f.adj[s]
+	lo := sort.Search(len(arcs), func(i int) bool { return arcs[i].Act >= act })
+	hi := lo
+	for hi < len(arcs) && arcs[hi].Act == act {
+		hi++
+	}
+	return lo, hi
 }
 
 // HasArc reports whether (s, act, to) is in Delta.
