@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"ccs/internal/core"
+	"ccs/internal/fsp"
+	"ccs/internal/gen"
+	"ccs/internal/lts"
+	"ccs/internal/partition"
+)
+
+// benchJSONPath, when non-empty, is where runE16 writes its BENCH_E16.json
+// trajectory. main wires it to the -benchjson flag; the test harness leaves
+// it empty so test runs produce no files.
+var benchJSONPath string
+
+type e16Row struct {
+	States     int     `json:"states"`
+	Trans      int     `json:"transitions"`
+	Iters      int     `json:"iterations"`
+	EdgeListNS int64   `json:"edge_list_ns"`
+	KernelNS   int64   `json:"csr_kernel_ns"`
+	Speedup    float64 `json:"speedup"`
+	Blocks     int     `json:"blocks"`
+}
+
+type e16Report struct {
+	Experiment  string   `json:"experiment"`
+	Description string   `json:"description"`
+	Seed        int64    `json:"seed"`
+	Quick       bool     `json:"quick"`
+	GeneratedAt string   `json:"generated_at"`
+	Rows        []e16Row `json:"rows"`
+}
+
+// e16Flatten is the pre-kernel reduction: materialize the FSP's adjacency
+// as an explicit partition.Problem edge slice, exactly what core, kequiv,
+// automata and failures each did per call before internal/lts existed.
+func e16Flatten(f *fsp.FSP, initial []int32) *partition.Problem {
+	pr := &partition.Problem{
+		N:         f.NumStates(),
+		NumLabels: f.Alphabet().Len(),
+		Initial:   initial,
+		Edges:     make([]partition.Edge, 0, f.NumTransitions()),
+	}
+	for s := 0; s < f.NumStates(); s++ {
+		for _, a := range f.Arcs(fsp.State(s)) {
+			pr.Edges = append(pr.Edges, partition.Edge{
+				From:  int32(s),
+				Label: int32(a.Act),
+				To:    int32(a.To),
+			})
+		}
+	}
+	return pr
+}
+
+// runE16 benchmarks Paige-Tarjan on the cached CSR kernel against the old
+// edge-list route across the gen gallery sizes: the old route pays
+// flatten + index construction + solve on every query (what core, kequiv,
+// automata and failures each did per call before internal/lts), the
+// kernel route builds the index once (the engine's cached artifact) and
+// every query is a pure solve. Both routes share the solver, so the
+// comparison isolates exactly the re-flattening cost the kernel removes;
+// solver-vs-solver correctness lives in the internal/lts differential
+// suite. Both routes must produce identical partitions; the per-size
+// speedups are emitted as the BENCH_E16.json trajectory when -benchjson
+// is set.
+func runE16(w io.Writer, seed int64, quick bool) error {
+	sizes := []int{256, 512, 1024, 2048, 4096}
+	iters := 6
+	if quick {
+		sizes = []int{128, 256, 512}
+		iters = 2
+	}
+	report := e16Report{
+		Experiment:  "E16",
+		Description: "Paige-Tarjan on the cached CSR kernel (internal/lts) vs the per-call edge-list path",
+		Seed:        seed,
+		Quick:       quick,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Fprintf(w, "%8s %8s %8s %14s %14s %8s %8s\n",
+		"n", "m", "queries", "edge-list", "csr-kernel", "speedup", "blocks")
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(seed))
+		f := gen.Random(rng, n, 6*n, 4, 0.15)
+		initial := core.ExtInitial(f)
+
+		var oldP, newP *partition.Partition
+		oldT := timed(func() {
+			for it := 0; it < iters; it++ {
+				oldP = e16Flatten(f, initial).PaigeTarjan()
+			}
+		})
+		newT := timed(func() {
+			// The index is built once and cached, as in the engine's
+			// per-process artifact store; queries then solve directly.
+			idx := lts.FromFSP(f)
+			for it := 0; it < iters; it++ {
+				newP = partition.PaigeTarjanIndex(idx, initial)
+			}
+		})
+		if !oldP.Equal(newP) {
+			return fmt.Errorf("e16: paths disagree at n=%d: %d vs %d blocks", n, oldP.NumBlocks(), newP.NumBlocks())
+		}
+		speedup := float64(oldT) / float64(newT)
+		fmt.Fprintf(w, "%8d %8d %8d %14s %14s %7.1fx %8d\n",
+			n, f.NumTransitions(), iters,
+			oldT.Round(time.Microsecond), newT.Round(time.Microsecond),
+			speedup, newP.NumBlocks())
+		report.Rows = append(report.Rows, e16Row{
+			States:     n,
+			Trans:      f.NumTransitions(),
+			Iters:      iters,
+			EdgeListNS: oldT.Nanoseconds(),
+			KernelNS:   newT.Nanoseconds(),
+			Speedup:    speedup,
+			Blocks:     newP.NumBlocks(),
+		})
+	}
+	last := report.Rows[len(report.Rows)-1]
+	// The speedup floor is asserted on full runs only: quick mode exists as
+	// a CI correctness smoke, where shared-runner timing noise on the small
+	// sizes would make a hard perf gate flaky.
+	if !quick && last.Speedup < 1.5 {
+		return fmt.Errorf("e16: kernel speedup %.2fx on the largest process (n=%d), want >= 1.5x", last.Speedup, last.States)
+	}
+	fmt.Fprintln(w, "expect: speedup >= 1.5x on the largest size — the cached index amortizes")
+	fmt.Fprintln(w, "        flattening and preimage construction across queries")
+	if benchJSONPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return fmt.Errorf("e16: %w", err)
+		}
+		if err := os.WriteFile(benchJSONPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("e16: %w", err)
+		}
+		fmt.Fprintf(w, "trajectory written to %s\n", benchJSONPath)
+	}
+	return nil
+}

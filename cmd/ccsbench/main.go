@@ -1,11 +1,12 @@
 // Command ccsbench regenerates the paper's tables and figures as terminal
-// tables — one experiment per artifact, indexed E1..E15 (see DESIGN.md for
+// tables — one experiment per artifact, indexed E1..E16 (see DESIGN.md for
 // the experiment-to-paper mapping and EXPERIMENTS.md for recorded results;
-// E15 measures the batch equivalence engine rather than a paper claim).
+// E15 measures the batch equivalence engine and E16 the shared CSR
+// refinement kernel rather than paper claims).
 //
 // Usage:
 //
-//	ccsbench [-exp e1,...|all] [-seed N] [-quick]
+//	ccsbench [-exp e1,...|all] [-seed N] [-quick] [-benchjson FILE]
 package main
 
 import (
@@ -17,10 +18,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e15) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e16) or 'all'")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+	benchjson := flag.String("benchjson", "", "file where E16 writes its JSON trajectory (default: not written)")
 	flag.Parse()
+	benchJSONPath = *benchjson
 
 	if err := run(os.Stdout, *exp, *seed, *quick); err != nil {
 		fmt.Fprintf(os.Stderr, "ccsbench: %v\n", err)
@@ -51,6 +54,7 @@ func experiments() []experiment {
 		{"e13", "Thm 4.1(c) / Fig. 5b,5d: chaos and the trivial NFA", runE13},
 		{"e14", "Section 6: extended star expressions are succinct", runE14},
 		{"e15", "Batch engine: cached + pooled checking vs one-shot loop", runE15},
+		{"e16", "CSR kernel: cached-index Paige-Tarjan vs edge-list path", runE16},
 	}
 }
 

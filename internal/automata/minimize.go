@@ -1,6 +1,7 @@
 package automata
 
 import (
+	"ccs/internal/lts"
 	"ccs/internal/partition"
 )
 
@@ -10,20 +11,16 @@ import (
 // O(N log N) "process the smaller half" algorithm (Hopcroft 1971) — the
 // technique the paper generalizes in Section 3.
 func (d *DFA) Minimize() *DFA {
-	return d.minimizeWith(func(pr *partition.Problem) *partition.Partition {
-		return pr.PaigeTarjan()
-	})
+	return d.minimizeWith(partition.PaigeTarjanIndex)
 }
 
 // MinimizeMoore is the O(N^2 sigma) round-based minimization of Moore,
 // retained as an independently implemented cross-check for Minimize.
 func (d *DFA) MinimizeMoore() *DFA {
-	return d.minimizeWith(func(pr *partition.Problem) *partition.Partition {
-		return pr.Naive()
-	})
+	return d.minimizeWith(partition.NaiveIndex)
 }
 
-func (d *DFA) minimizeWith(solve func(*partition.Problem) *partition.Partition) *DFA {
+func (d *DFA) minimizeWith(solve func(*lts.Index, []int32) *partition.Partition) *DFA {
 	// Restrict to reachable states, renumbering densely.
 	reach := d.Reachable()
 	remap := make([]int32, d.numStates)
@@ -37,12 +34,11 @@ func (d *DFA) minimizeWith(solve func(*partition.Problem) *partition.Partition) 
 		}
 	}
 
-	pr := &partition.Problem{
-		N:         int(live),
-		NumLabels: d.numSymbols,
-		Initial:   make([]int32, live),
-	}
-	// Initial partition: accepting vs non-accepting (made dense below).
+	// The refinement instance is built straight into the CSR kernel:
+	// anonymous dense labels (the DFA symbols), initial partition accepting
+	// vs non-accepting.
+	b := lts.NewBuilder(int(live), d.numSymbols)
+	initial := make([]int32, live)
 	hasAcc, hasRej := false, false
 	for s := 0; s < d.numStates; s++ {
 		if reach[s] && d.accept[s] {
@@ -60,16 +56,12 @@ func (d *DFA) minimizeWith(solve func(*partition.Problem) *partition.Partition) 
 		if hasAcc && hasRej && !d.accept[s] {
 			blk = 1
 		}
-		pr.Initial[remap[s]] = blk
+		initial[remap[s]] = blk
 		for sym := 0; sym < d.numSymbols; sym++ {
-			pr.Edges = append(pr.Edges, partition.Edge{
-				From:  remap[s],
-				Label: int32(sym),
-				To:    remap[d.delta[s][sym]],
-			})
+			b.Add(remap[s], int32(sym), remap[d.delta[s][sym]])
 		}
 	}
-	p := solve(pr)
+	p := solve(b.Build(), initial)
 
 	out, err := NewDFA(p.NumBlocks(), d.numSymbols, p.Block(remap[d.start]))
 	if err != nil {

@@ -12,14 +12,22 @@
 //   - Quotients (state minimization) modulo strong and observational
 //     equivalence.
 //
-// States of two different processes are compared by forming their disjoint
-// union, exactly as licensed by the remark in the proof of Lemma 3.1.
+// All refinement flows through the shared CSR kernel of internal/lts: the
+// Lemma 3.1 reduction is realized as lts.FromFSP (built once per process
+// and cacheable by callers such as the engine) plus an extension-grouped
+// initial partition, and the solvers in internal/partition refine directly
+// on the index. States of two different processes are compared by forming
+// the disjoint union of their indexes (lts.DisjointUnion, exactly as
+// licensed by the remark in the proof of Lemma 3.1), so a cached process
+// is never re-flattened for a pair query.
 package core
 
 import (
 	"fmt"
+	"sort"
 
 	"ccs/internal/fsp"
+	"ccs/internal/lts"
 	"ccs/internal/partition"
 )
 
@@ -64,25 +72,27 @@ func newConfig(opts []Option) config {
 	return c
 }
 
-func (c config) solve(pr *partition.Problem) *partition.Partition {
+func (c config) solve(idx *lts.Index, initial []int32) *partition.Partition {
 	if c.algo == Naive {
-		return pr.Naive()
+		return partition.NaiveIndex(idx, initial)
 	}
-	return pr.PaigeTarjan()
+	return partition.PaigeTarjanIndex(idx, initial)
 }
 
-// problemOf encodes f as a generalized-partitioning instance per Lemma 3.1:
-// the element set is K, the initial partition groups states by extension,
-// and there is one function per action (tau, if present, is treated as an
-// ordinary label, which is exactly strong equivalence; observational
-// equivalence callers saturate first so no tau remains).
-func problemOf(f *fsp.FSP) *partition.Problem {
+// IndexOf builds the refinement index of f: the Lemma 3.1 encoding of the
+// transition relation with one function per action (tau, if present, is
+// treated as an ordinary label, which is exactly strong equivalence;
+// observational equivalence callers saturate first so no tau remains).
+// The index is immutable and safe to cache and share across goroutines.
+func IndexOf(f *fsp.FSP) *lts.Index { return lts.FromFSP(f) }
+
+// ExtInitial is the initial partition of Lemma 3.1: states grouped by
+// extension, with dense block ids in state-scan order. It pairs with
+// IndexOf to form a complete refinement instance; hml and the benchmark
+// harness reuse it so every layer encodes the reduction identically.
+func ExtInitial(f *fsp.FSP) []int32 {
 	n := f.NumStates()
-	pr := &partition.Problem{
-		N:         n,
-		NumLabels: f.Alphabet().Len(),
-		Initial:   make([]int32, n),
-	}
+	initial := make([]int32, n)
 	blockByExt := map[fsp.VarSet]int32{}
 	for s := 0; s < n; s++ {
 		e := f.Ext(fsp.State(s))
@@ -91,16 +101,58 @@ func problemOf(f *fsp.FSP) *partition.Problem {
 			b = int32(len(blockByExt))
 			blockByExt[e] = b
 		}
-		pr.Initial[s] = b
-		for _, a := range f.Arcs(fsp.State(s)) {
-			pr.Edges = append(pr.Edges, partition.Edge{
-				From:  int32(s),
-				Label: int32(a.Act),
-				To:    int32(a.To),
-			})
+		initial[s] = b
+	}
+	return initial
+}
+
+// pairInstance assembles the disjoint-union instance for a cross-process
+// query: the union of the two cached indexes plus the extension-grouped
+// initial partition, with extensions matched by variable name (the two
+// processes may have been built against different variable tables).
+func pairInstance(f, g *fsp.FSP, fi, gi *lts.Index) (*lts.Index, []int32, int32, error) {
+	u, off, err := lts.DisjointUnion(fi, gi)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	initial := make([]int32, u.N())
+	blockByExt := map[string]int32{}
+	// Variable names are interned into shared dense ids and extensions
+	// keyed by their sorted id encoding — collision-free for arbitrary
+	// names, exactly like fsp.DisjointUnion's name interning (a rendered
+	// string key could collide, e.g. a variable literally named "a,b"
+	// against the two-variable extension {a, b}).
+	nameID := map[string]int32{}
+	var scratch []int32
+	var buf []byte
+	assign := func(p *fsp.FSP, base int32) {
+		for s := 0; s < p.NumStates(); s++ {
+			scratch = scratch[:0]
+			for _, id := range p.Ext(fsp.State(s)).IDs() {
+				nm := p.Vars().Name(id)
+				d, ok := nameID[nm]
+				if !ok {
+					d = int32(len(nameID))
+					nameID[nm] = d
+				}
+				scratch = append(scratch, d)
+			}
+			sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+			buf = buf[:0]
+			for _, d := range scratch {
+				buf = append(buf, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+			}
+			b, ok := blockByExt[string(buf)]
+			if !ok {
+				b = int32(len(blockByExt))
+				blockByExt[string(buf)] = b
+			}
+			initial[base+int32(s)] = b
 		}
 	}
-	return pr
+	assign(f, 0)
+	assign(g, off)
+	return u, initial, off, nil
 }
 
 // StrongPartition computes the strong-equivalence partition of f's states:
@@ -108,8 +160,15 @@ func problemOf(f *fsp.FSP) *partition.Problem {
 // the Lemma 3.1 reduction; the solver choice realizes Theorem 3.1 or the
 // Lemma 3.2 baseline.
 func StrongPartition(f *fsp.FSP, opts ...Option) *partition.Partition {
+	return StrongPartitionIndexed(f, IndexOf(f), opts...)
+}
+
+// StrongPartitionIndexed is StrongPartition for callers that already hold
+// f's refinement index (e.g. the engine's artifact cache); the index must
+// have been built from f.
+func StrongPartitionIndexed(f *fsp.FSP, idx *lts.Index, opts ...Option) *partition.Partition {
 	c := newConfig(opts)
-	return c.solve(problemOf(f))
+	return c.solve(idx, ExtInitial(f))
 }
 
 // StrongEquivalentStates reports p ~ q for two states of f.
@@ -120,11 +179,20 @@ func StrongEquivalentStates(f *fsp.FSP, p, q fsp.State, opts ...Option) bool {
 // StrongEquivalent reports whether the start states of f and g are strongly
 // equivalent, by checking them inside the disjoint union of the processes.
 func StrongEquivalent(f, g *fsp.FSP, opts ...Option) (bool, error) {
-	u, off, err := fsp.DisjointUnion(f, g)
+	return StrongEquivalentIndexed(f, g, IndexOf(f), IndexOf(g), opts...)
+}
+
+// StrongEquivalentIndexed is StrongEquivalent on prebuilt indexes: the
+// disjoint union is formed at the index level, so neither process is
+// re-flattened. fi and gi must have been built from f and g.
+func StrongEquivalentIndexed(f, g *fsp.FSP, fi, gi *lts.Index, opts ...Option) (bool, error) {
+	u, initial, off, err := pairInstance(f, g, fi, gi)
 	if err != nil {
 		return false, fmt.Errorf("strong equivalence: %w", err)
 	}
-	return StrongEquivalentStates(u, f.Start(), off+g.Start(), opts...), nil
+	c := newConfig(opts)
+	p := c.solve(u, initial)
+	return p.Same(int32(f.Start()), off+int32(g.Start())), nil
 }
 
 // WeakPartition computes the observational-equivalence partition of f's
@@ -149,13 +217,24 @@ func WeakEquivalentStates(f *fsp.FSP, p, q fsp.State, opts ...Option) (bool, err
 }
 
 // WeakEquivalent reports whether the start states of f and g are
-// observationally equivalent.
+// observationally equivalent. Saturation distributes over disjoint union
+// (the tau-closure of a union is the union of the tau-closures), so each
+// side is saturated separately and the saturated indexes are unioned —
+// the same decomposition the engine uses with its cached P-hats.
 func WeakEquivalent(f, g *fsp.FSP, opts ...Option) (bool, error) {
-	u, off, err := fsp.DisjointUnion(f, g)
+	satF, _, err := fsp.Saturate(f)
 	if err != nil {
 		return false, fmt.Errorf("observational equivalence: %w", err)
 	}
-	return WeakEquivalentStates(u, f.Start(), off+g.Start(), opts...)
+	satG, _, err := fsp.Saturate(g)
+	if err != nil {
+		return false, fmt.Errorf("observational equivalence: %w", err)
+	}
+	eq, err := StrongEquivalentIndexed(satF, satG, IndexOf(satF), IndexOf(satG), opts...)
+	if err != nil {
+		return false, fmt.Errorf("observational equivalence: %w", err)
+	}
+	return eq, nil
 }
 
 // LimitedPartition computes the k-limited observational equivalence ≃_k of
@@ -168,7 +247,7 @@ func LimitedPartition(f *fsp.FSP, k int) (*partition.Partition, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("limited equivalence: %w", err)
 	}
-	p, rounds := problemOf(sat).RefineSteps(k)
+	p, rounds := partition.RefineStepsIndex(IndexOf(sat), ExtInitial(sat), k)
 	return p, rounds, nil
 }
 
@@ -179,6 +258,20 @@ func LimitedEquivalentStates(f *fsp.FSP, p, q fsp.State, k int) (bool, error) {
 		return false, err
 	}
 	return part.Same(int32(p), int32(q)), nil
+}
+
+// LimitedEquivalentSaturated decides ≃_k for the start states of two
+// processes given their already-saturated forms and the indexes of those
+// forms (the engine's cached artifacts). Saturation distributes over
+// disjoint union, so k rounds of naive refinement on the union of the
+// saturated indexes is exactly ≃_k on the union process.
+func LimitedEquivalentSaturated(satF, satG *fsp.FSP, fi, gi *lts.Index, k int) (bool, error) {
+	u, initial, off, err := pairInstance(satF, satG, fi, gi)
+	if err != nil {
+		return false, fmt.Errorf("limited equivalence: %w", err)
+	}
+	p, _ := partition.RefineStepsIndex(u, initial, k)
+	return p.Same(int32(satF.Start()), off+int32(satG.Start())), nil
 }
 
 // Classes converts a partition over f's states into explicit equivalence

@@ -7,11 +7,14 @@
 //   - Per-process artifact caching. Deciding p ≈ q by Theorem 4.1(a)
 //     saturates and partitions from scratch on every call, even when the
 //     same process appears in many queries. A Checker derives each
-//     process's expensive artifacts — tau-closure, saturated P-hat, and the
-//     canonical quotients modulo ~ and ≈ — exactly once, so a query against
-//     an already-seen process pays only a small check on the minimized
-//     quotients (valid by transitivity: p ~ min~(p) ⊆ ≈ᶜ, p ≈ min≈(p), and
-//     ≈ refines every ≈_k and ≃_k, Propositions 2.2.1 and 2.2.3). The one
+//     process's expensive artifacts — tau-closure, saturated P-hat, the
+//     canonical quotients modulo ~ and ≈, and the CSR refinement index
+//     (internal/lts) of every process it partitions — exactly once, so a
+//     query against an already-seen process pays only a small check on the
+//     minimized quotients (valid by transitivity: p ~ min~(p) ⊆ ≈ᶜ,
+//     p ≈ min≈(p), and ≈ refines every ≈_k and ≃_k, Propositions 2.2.1 and
+//     2.2.3). Pair queries union the cached indexes (lts.DisjointUnion),
+//     so a cached process is never re-flattened into an edge list. The one
 //     exception is Failure, which runs on the originals so that the
 //     restrictedness validation of the one-shot checker is preserved.
 //
@@ -35,6 +38,7 @@ import (
 	"ccs/internal/failures"
 	"ccs/internal/fsp"
 	"ccs/internal/kequiv"
+	"ccs/internal/lts"
 	"ccs/internal/simulation"
 )
 
@@ -132,6 +136,9 @@ type artifacts struct {
 	closureOnce sync.Once
 	closure     fsp.Closure
 
+	idxOnce sync.Once
+	idx     *lts.Index
+
 	satOnce sync.Once
 	sat     *fsp.FSP
 	satEps  fsp.Action
@@ -170,6 +177,16 @@ func (c *Checker) Closure(p *fsp.FSP) fsp.Closure {
 	a := c.art(p)
 	a.closureOnce.Do(func() { a.closure = fsp.TauClosure(p) })
 	return a.closure
+}
+
+// Index returns the memoized CSR refinement index of p (core.IndexOf).
+// Indexes are immutable, so the one copy serves concurrent queries; pair
+// checks combine two cached indexes with lts.DisjointUnion instead of
+// re-flattening the processes.
+func (c *Checker) Index(p *fsp.FSP) *lts.Index {
+	a := c.art(p)
+	a.idxOnce.Do(func() { a.idx = core.IndexOf(p) })
+	return a.idx
 }
 
 // Saturated returns the memoized observable form P-hat of Theorem 4.1(a)
@@ -222,7 +239,7 @@ func (c *Checker) Check(ctx context.Context, q Query) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		return core.StrongEquivalent(minP, minQ, c.opts...)
+		return core.StrongEquivalentIndexed(minP, minQ, c.Index(minP), c.Index(minQ), c.opts...)
 	case Weak:
 		minP, minQ, err := c.weakPair(q)
 		if err != nil {
@@ -231,7 +248,8 @@ func (c *Checker) Check(ctx context.Context, q Query) (bool, error) {
 		// Saturation distributes over disjoint union (the tau-closure of a
 		// union is the union of the tau-closures), so p ≈ q reduces to
 		// strong equivalence of the cached saturated quotients — no
-		// per-pair saturation at all, just one partition solve.
+		// per-pair saturation at all, just one partition solve on the
+		// union of the cached P-hat indexes.
 		satP, _, err := c.Saturated(minP)
 		if err != nil {
 			return false, err
@@ -240,7 +258,7 @@ func (c *Checker) Check(ctx context.Context, q Query) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		return core.StrongEquivalent(satP, satQ, c.opts...)
+		return core.StrongEquivalentIndexed(satP, satQ, c.Index(satP), c.Index(satQ), c.opts...)
 	case Trace:
 		minP, minQ, err := c.weakPair(q)
 		if err != nil {
@@ -255,16 +273,22 @@ func (c *Checker) Check(ctx context.Context, q Query) (bool, error) {
 		return kequiv.Equivalent(minP, minQ, q.K)
 	case Limited:
 		// ≈ refines ≃_k for every k (Proposition 2.2.1c), so the cached
-		// ≈-quotients decide ≃_k by transitivity, like Trace and K.
+		// ≈-quotients decide ≃_k by transitivity, like Trace and K. The
+		// ladder runs on the union of the cached saturated-quotient
+		// indexes (saturation distributes over disjoint union).
 		minP, minQ, err := c.weakPair(q)
 		if err != nil {
 			return false, err
 		}
-		u, off, err := fsp.DisjointUnion(minP, minQ)
+		satP, _, err := c.Saturated(minP)
 		if err != nil {
 			return false, err
 		}
-		return core.LimitedEquivalentStates(u, minP.Start(), off+minQ.Start(), q.K)
+		satQ, _, err := c.Saturated(minQ)
+		if err != nil {
+			return false, err
+		}
+		return core.LimitedEquivalentSaturated(satP, satQ, c.Index(satP), c.Index(satQ), q.K)
 	case Failure:
 		// Deliberately uncached: failures.Equivalent validates that both
 		// inputs are restricted, and quotienting can erase the evidence

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"ccs/internal/fsp"
+	"ccs/internal/lts"
 )
 
 // maxAlphabet bounds |Sigma| so refusal sets fit in a 64-bit mask.
@@ -98,10 +99,15 @@ func checkRestricted(f *fsp.FSP) error {
 	return nil
 }
 
-// semantics precomputes weak machinery for one FSP.
+// semantics precomputes weak machinery for one FSP: the tau-closure and
+// the weak sigma-arc index (internal/lts, one dense label per observable
+// action), built once per process so the subset exploration steps by
+// walking contiguous CSR destination runs instead of recomputing weak
+// derivatives per node.
 type semantics struct {
 	f      *fsp.FSP
 	clo    fsp.Closure
+	idx    *lts.Index // label i = i-th observable action (fsp.Action i+1)
 	numObs int
 	// weakInitials[s] = the observable actions s can weakly perform.
 	weakInitials []RefusalSet // stored as "can do" masks; refusal = complement
@@ -115,13 +121,15 @@ func newSemantics(f *fsp.FSP) *semantics {
 	for i := 0; i < numObs; i++ {
 		sem.full |= 1 << uint(i)
 	}
+	sem.idx = lts.FromWeak(f, clo)
+	// s ==sigma=> iff the weak-arc span of (s, sigma) is nonempty, so the
+	// weak initials fall straight out of the index's forward CSR.
 	sem.weakInitials = make([]RefusalSet, f.NumStates())
+	fwdStart, fwdLabel, _ := sem.idx.Fwd()
 	for s := 0; s < f.NumStates(); s++ {
 		var can RefusalSet
-		for _, p := range clo.Of(fsp.State(s)) {
-			for _, a := range f.Initials(p) {
-				can = can.With(a)
-			}
+		for j := fwdStart[s]; j < fwdStart[s+1]; j++ {
+			can = can.With(fsp.Action(fwdLabel[j] + 1))
 		}
 		sem.weakInitials[s] = can
 	}
@@ -159,9 +167,24 @@ func (sem *semantics) maxRefusals(set []fsp.State) []RefusalSet {
 }
 
 // step advances a derivative set by one observable action (closure-closed
-// in, closure-closed out).
+// in, closure-closed out): the union of the precomputed weak destination
+// runs of the members. Weak derivative sets are closure-closed, and a
+// union of closure-closed sets is closure-closed, so no re-expansion is
+// needed.
 func (sem *semantics) step(set []fsp.State, sigma fsp.Action) []fsp.State {
-	return fsp.WeakDestSet(sem.f, sem.clo, set, sigma)
+	l := int32(sigma - 1)
+	mark := map[fsp.State]struct{}{}
+	for _, s := range set {
+		for _, t := range sem.idx.Dests(int32(s), l) {
+			mark[fsp.State(t)] = struct{}{}
+		}
+	}
+	out := make([]fsp.State, 0, len(mark))
+	for s := range mark {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func sameRefusals(a, b []RefusalSet) bool {
@@ -204,7 +227,10 @@ func EquivalentStates(f *fsp.FSP, p fsp.State, g *fsp.FSP, q fsp.State) (bool, *
 	}
 
 	semF := newSemantics(f)
-	semG := newSemantics(g)
+	semG := semF
+	if g != f {
+		semG = newSemantics(g)
+	}
 
 	type node struct {
 		sa, sb []fsp.State

@@ -32,7 +32,10 @@ func Refines(spec *fsp.FSP, specStart fsp.State, impl *fsp.FSP, implStart fsp.St
 	}
 
 	semS := newSemantics(spec)
-	semI := newSemantics(impl)
+	semI := semS
+	if impl != spec {
+		semI = newSemantics(impl)
+	}
 
 	type node struct {
 		ss, si []fsp.State

@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"strings"
 
+	"ccs/internal/core"
 	"ccs/internal/fsp"
+	"ccs/internal/lts"
 	"ccs/internal/partition"
 )
 
@@ -191,8 +193,7 @@ func Size(phi Formula) int {
 // and q are states of f, or an error if p ~ q (strong equivalence admits no
 // distinguishing formula, by Hennessy-Milner).
 func Distinguish(f *fsp.FSP, p, q fsp.State) (Formula, error) {
-	pr := problemOf(f)
-	seq := pr.RefineSequence()
+	seq := partition.RefineSequenceIndex(lts.FromFSP(f), core.ExtInitial(f))
 	final := seq[len(seq)-1]
 	if final.Same(int32(p), int32(q)) {
 		return nil, fmt.Errorf("hml: states %d and %d are strongly equivalent", p, q)
@@ -281,34 +282,4 @@ func (d *distinguisher) moveFormula(prev *partition.Partition, p, q fsp.State) (
 		}
 	}
 	return nil, false
-}
-
-// problemOf mirrors the core package's encoding (kept local to avoid a
-// dependency cycle): elements are states, labels are actions, the initial
-// partition groups by extension.
-func problemOf(f *fsp.FSP) *partition.Problem {
-	n := f.NumStates()
-	pr := &partition.Problem{
-		N:         n,
-		NumLabels: f.Alphabet().Len(),
-		Initial:   make([]int32, n),
-	}
-	blockByExt := map[fsp.VarSet]int32{}
-	for s := 0; s < n; s++ {
-		e := f.Ext(fsp.State(s))
-		b, ok := blockByExt[e]
-		if !ok {
-			b = int32(len(blockByExt))
-			blockByExt[e] = b
-		}
-		pr.Initial[s] = b
-		for _, a := range f.Arcs(fsp.State(s)) {
-			pr.Edges = append(pr.Edges, partition.Edge{
-				From:  int32(s),
-				Label: int32(a.Act),
-				To:    int32(a.To),
-			})
-		}
-	}
-	return pr
 }

@@ -29,30 +29,37 @@ import (
 	"sort"
 
 	"ccs/internal/fsp"
+	"ccs/internal/lts"
 	"ccs/internal/partition"
 )
 
 // weakGraph is the saturated view of an FSP used by all deciders: weak
-// sigma-arcs between states plus per-state tau-closures.
+// sigma-arcs between states plus per-state tau-closures. The weak arcs are
+// held as a CSR index (internal/lts) with one dense label per observable
+// action, built once per process: per-(state, action) destination lists are
+// contiguous shared subslices of one flat array rather than n×|Sigma|
+// individually allocated slices.
 type weakGraph struct {
-	f   *fsp.FSP
-	clo fsp.Closure
-	// arcs[s][sigma-1] = sorted weak destinations (observable actions only).
-	arcs   [][][]fsp.State
+	f      *fsp.FSP
+	clo    fsp.Closure
+	idx    *lts.Index // label i = i-th observable action (fsp.Action i+1)
 	numObs int
 }
 
 func newWeakGraph(f *fsp.FSP) *weakGraph {
 	clo := fsp.TauClosure(f)
-	numObs := f.Alphabet().NumObservable()
-	arcs := make([][][]fsp.State, f.NumStates())
-	for s := 0; s < f.NumStates(); s++ {
-		arcs[s] = make([][]fsp.State, numObs)
-		for i, sigma := range f.Alphabet().Observable() {
-			arcs[s][i] = fsp.WeakDest(f, clo, fsp.State(s), sigma)
-		}
+	return &weakGraph{
+		f:      f,
+		clo:    clo,
+		idx:    lts.FromWeak(f, clo),
+		numObs: f.Alphabet().NumObservable(),
 	}
-	return &weakGraph{f: f, clo: clo, arcs: arcs, numObs: numObs}
+}
+
+// dests returns the sorted weak destinations of s under the obs-th
+// observable action (a shared subslice of the index).
+func (g *weakGraph) dests(s fsp.State, obs int) []int32 {
+	return g.idx.Dests(int32(s), int32(obs))
 }
 
 // step advances a sorted, closure-closed state set by one observable action
@@ -60,8 +67,8 @@ func newWeakGraph(f *fsp.FSP) *weakGraph {
 func (g *weakGraph) step(set []fsp.State, obs int) []fsp.State {
 	mark := map[fsp.State]struct{}{}
 	for _, s := range set {
-		for _, t := range g.arcs[s][obs] {
-			mark[t] = struct{}{}
+		for _, t := range g.dests(s, obs) {
+			mark[fsp.State(t)] = struct{}{}
 		}
 	}
 	out := make([]fsp.State, 0, len(mark))
@@ -246,23 +253,26 @@ func EquivalentToTrivial(f *fsp.FSP, start fsp.State) (bool, error) {
 	g := newWeakGraph(f)
 	seen := make([]bool, f.NumStates())
 	var stack []fsp.State
-	push := func(states []fsp.State) {
-		for _, s := range states {
-			if !seen[s] {
-				seen[s] = true
-				stack = append(stack, s)
-			}
+	push := func(s fsp.State) {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
 		}
 	}
-	push(g.clo.Of(start))
+	for _, s := range g.clo.Of(start) {
+		push(s)
+	}
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for obs := 0; obs < g.numObs; obs++ {
-			if len(g.arcs[s][obs]) == 0 {
+			ds := g.dests(s, obs)
+			if len(ds) == 0 {
 				return false, nil
 			}
-			push(g.arcs[s][obs])
+			for _, t := range ds {
+				push(fsp.State(t))
+			}
 		}
 	}
 	return true, nil

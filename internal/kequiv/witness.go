@@ -27,8 +27,8 @@ func weakNFA(f *fsp.FSP) (*automata.NFA, error) {
 		}
 		n.SetAccept(int32(s), accepting)
 		for obs := 0; obs < g.numObs; obs++ {
-			for _, to := range g.arcs[s][obs] {
-				if err := n.AddArc(int32(s), obs, int32(to)); err != nil {
+			for _, to := range g.dests(fsp.State(s), obs) {
+				if err := n.AddArc(int32(s), obs, to); err != nil {
 					return nil, err
 				}
 			}

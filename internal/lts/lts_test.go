@@ -1,0 +1,171 @@
+package lts_test
+
+import (
+	"testing"
+
+	"ccs/internal/fsp"
+	"ccs/internal/lts"
+)
+
+func TestBuilderDedupesAndSorts(t *testing.T) {
+	b := lts.NewBuilder(3, 2)
+	// Shuffled insertion order with duplicates.
+	b.Add(2, 1, 0)
+	b.Add(0, 1, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 2) // dup
+	b.Add(0, 0, 1) // dup
+	b.Add(2, 1, 0) // dup
+	idx := b.Build()
+	if idx.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3 (duplicates must collapse)", idx.NumEdges())
+	}
+	if got := idx.Dests(0, 0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Dests(0,0) = %v, want [1]", got)
+	}
+	if got := idx.Dests(0, 1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Dests(0,1) = %v, want [2]", got)
+	}
+	if got := idx.Dests(1, 0); len(got) != 0 {
+		t.Errorf("Dests(1,0) = %v, want empty", got)
+	}
+	count, revRec, numRecs := idx.Records()
+	var sum int32
+	for _, c := range count {
+		sum += c
+	}
+	if int(sum) != idx.NumEdges() {
+		t.Errorf("record counts sum to %d, want %d", sum, idx.NumEdges())
+	}
+	if len(revRec) != idx.NumEdges() {
+		t.Errorf("revRec length %d, want %d", len(revRec), idx.NumEdges())
+	}
+	if numRecs != 3 { // (0,0), (0,1), (2,1)
+		t.Errorf("numRecs = %d, want 3", numRecs)
+	}
+}
+
+func TestReverseIndexIsPreimage(t *testing.T) {
+	b := lts.NewBuilder(4, 2)
+	b.Add(0, 0, 3)
+	b.Add(1, 0, 3)
+	b.Add(2, 1, 3)
+	b.Add(3, 1, 0)
+	idx := b.Build()
+	start, from, label := idx.Rev()
+	// In-edges of 3: (0,0), (1,0), (2,1) in (source, label) order.
+	lo, hi := start[3], start[4]
+	if hi-lo != 3 {
+		t.Fatalf("state 3 has %d in-edges, want 3", hi-lo)
+	}
+	wantFrom := []int32{0, 1, 2}
+	wantLabel := []int32{0, 0, 1}
+	for i := lo; i < hi; i++ {
+		if from[i] != wantFrom[i-lo] || label[i] != wantLabel[i-lo] {
+			t.Errorf("in-edge %d = (%d,%d), want (%d,%d)", i-lo, from[i], label[i], wantFrom[i-lo], wantLabel[i-lo])
+		}
+	}
+}
+
+func TestSignaturesGroupByLabelSet(t *testing.T) {
+	b := lts.NewBuilder(5, 3)
+	b.Add(0, 0, 1)
+	b.Add(0, 2, 1)
+	b.Add(1, 0, 2)
+	b.Add(1, 2, 0)
+	b.Add(2, 1, 0)
+	// 3 and 4 have no out-edges.
+	idx := b.Build()
+	sig, num := idx.Signatures()
+	if sig[0] != sig[1] {
+		t.Errorf("states 0 and 1 share label set {0,2} but sig %d != %d", sig[0], sig[1])
+	}
+	if sig[3] != sig[4] {
+		t.Errorf("deadlock states 3 and 4 must share a signature, got %d and %d", sig[3], sig[4])
+	}
+	if sig[2] == sig[0] || sig[2] == sig[3] {
+		t.Errorf("state 2 (label set {1}) must differ from %d and %d", sig[0], sig[3])
+	}
+	if num != 3 {
+		t.Errorf("numSigs = %d, want 3", num)
+	}
+}
+
+func TestFromFSPDenseRemap(t *testing.T) {
+	b := fsp.NewBuilder("dense")
+	b.AddStates(2)
+	// Intern actions a..e but only use b and d.
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		b.Action(n)
+	}
+	b.ArcName(0, "b", 1)
+	b.ArcName(0, "d", 0)
+	f := b.MustBuild()
+	idx := lts.FromFSP(f)
+	if idx.NumLabels() != 2 {
+		t.Fatalf("NumLabels = %d, want 2 (dense remap over used actions)", idx.NumLabels())
+	}
+	names := idx.LabelNames()
+	if len(names) != 2 || names[0] != "b" || names[1] != "d" {
+		t.Fatalf("LabelNames = %v, want [b d]", names)
+	}
+	if got := idx.Dests(0, 0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Dests(0, b) = %v, want [1]", got)
+	}
+	if got := idx.Dests(0, 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Dests(0, d) = %v, want [0]", got)
+	}
+}
+
+func TestDisjointUnionAlignsLabelsByName(t *testing.T) {
+	// p uses actions (a, b); q uses (b, c) — and q's dense ids differ.
+	pb := fsp.NewBuilder("p")
+	pb.AddStates(2)
+	pb.ArcName(0, "a", 1)
+	pb.ArcName(1, "b", 0)
+	p := pb.MustBuild()
+
+	qb := fsp.NewBuilder("q")
+	qb.AddStates(2)
+	qb.ArcName(0, "b", 1)
+	qb.ArcName(1, "c", 1)
+	q := qb.MustBuild()
+
+	pi, qi := lts.FromFSP(p), lts.FromFSP(q)
+	u, off, err := lts.DisjointUnion(pi, qi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 2 || u.N() != 4 {
+		t.Fatalf("offset = %d, N = %d; want 2, 4", off, u.N())
+	}
+	names := u.LabelNames()
+	if len(names) != 3 {
+		t.Fatalf("union labels = %v, want 3 labels a, b, c", names)
+	}
+	labelOf := map[string]int32{}
+	for i, nm := range names {
+		labelOf[nm] = int32(i)
+	}
+	// q-state 0's b-edge must land on union label "b", target off+1.
+	if got := u.Dests(off+0, labelOf["b"]); len(got) != 1 || got[0] != off+1 {
+		t.Errorf("union Dests(q0, b) = %v, want [%d]", got, off+1)
+	}
+	// p-state 1's b-edge shares that label.
+	if got := u.Dests(1, labelOf["b"]); len(got) != 1 || got[0] != 0 {
+		t.Errorf("union Dests(p1, b) = %v, want [0]", got)
+	}
+	if got := u.Dests(off+1, labelOf["c"]); len(got) != 1 || got[0] != off+1 {
+		t.Errorf("union Dests(q1, c) = %v, want [%d]", got, off+1)
+	}
+}
+
+func TestDisjointUnionMixedNamednessFails(t *testing.T) {
+	nb := fsp.NewBuilder("n")
+	nb.AddStates(1)
+	named := lts.FromFSP(nb.MustBuild())
+	anon := lts.NewBuilder(1, 1).Build()
+	if _, _, err := lts.DisjointUnion(named, anon); err == nil {
+		t.Error("union of named and anonymous index must fail")
+	}
+}

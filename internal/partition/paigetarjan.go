@@ -1,30 +1,51 @@
 package partition
 
-import "sort"
+import (
+	"ccs/internal/lts"
+)
 
-// PaigeTarjan solves the instance with the three-way splitting algorithm of
-// Paige & Tarjan (1987), generalized to labelled relations: splitters are
-// processed "smaller half first" and each split of an X-block S into B and
-// S-B refines every Q-block three ways per label — elements with l-edges
-// only into B, into both B and S-B, or only into S-B — using per-(element,
+// PaigeTarjanIndex solves the relational coarsest partition problem on a
+// prebuilt lts.Index with the three-way splitting algorithm of Paige &
+// Tarjan (1987), generalized to labelled relations: splitters are processed
+// "smaller half first" and each split of an X-block S into B and S-B
+// refines every Q-block three ways per label — elements with l-edges only
+// into B, into both B and S-B, or only into S-B — using per-(element,
 // label, X-block) edge counts so that S-B never has to be scanned. Total
 // splitter work is O(m log n).
 //
-// The result equals Naive's (the coarsest stable refinement is unique by the
-// Knaster-Tarski argument of Section 3).
-func (pr *Problem) PaigeTarjan() *Partition {
-	if len(pr.Edges) == 0 {
+// The solver consumes the index's reverse CSR and count-record skeleton
+// directly: no edge slice is materialized and nothing is re-sorted per
+// call, so a cached Index amortizes all preprocessing across solves. The
+// initial partition is seeded with the index's outgoing-action-set
+// signatures (intersected with the caller's initial blocks): any stable
+// partition must separate states whose outgoing label sets differ, so the
+// seed is sound and removes the classic per-label support pre-splitting
+// pass along with the splitter work it would induce.
+//
+// initial assigns each element its starting block (nil means the
+// single-block partition); ids must be non-negative but need not be dense.
+// The result equals NaiveIndex's (the coarsest stable refinement is unique
+// by the Knaster-Tarski argument of Section 3).
+func PaigeTarjanIndex(idx *lts.Index, initial []int32) *Partition {
+	n := idx.N()
+	if idx.NumEdges() == 0 {
 		// Nothing to refine against: the initial partition is stable.
-		return NewPartition(pr.initialBlocks())
+		blk := make([]int32, n)
+		if initial != nil {
+			copy(blk, initial)
+		}
+		return NewPartition(blk)
 	}
-	st := newPTState(pr)
+	st := newPTState(idx, initial)
 	st.run()
-	out := make([]int32, pr.N)
+	out := make([]int32, n)
 	copy(out, st.blk)
 	return NewPartition(out)
 }
 
-// ptState carries the mutable state of one Paige-Tarjan run.
+// ptState carries the mutable state of one Paige-Tarjan run. The index it
+// was built from is only read, so concurrent runs over one shared Index
+// are safe.
 type ptState struct {
 	n         int
 	numLabels int
@@ -45,73 +66,124 @@ type ptState struct {
 	inC     []bool
 	work    []int32 // worklist C of compound X-blocks
 
-	// Edges in CSR form grouped by target, for scanning in-edges of B.
-	edges    []Edge
-	preStart []int32
-	preEdges []int32
+	// Reverse CSR of the index (shared, read-only): in-edges of each
+	// element, i.e. the Paige-Tarjan preimage structure.
+	revStart, revFrom, revLabel []int32
 
 	// Count records: cnt[r] is the number of l-edges from some x into some
-	// X-block S; every edge points at the record of its (From, Label,
-	// X-block-of-To) triple.
+	// X-block S; every reverse edge points at the record of its (From,
+	// Label, X-block-of-To) triple. edgeRec starts as a copy of the index's
+	// skeleton (records of edges into the universe) and grows as blocks
+	// split; revPair is the skeleton itself, shared read-only: a stable
+	// dense id per (source, label) pair that the splitter passes use as a
+	// perfect hash into the epoch-stamped scratch below — no map operations
+	// on the hot path.
 	cnt     []int32
 	edgeRec []int32
+	revPair []int32
+
+	// Per-pair scratch for one splitter pass: entryAt[p] is the pass-entry
+	// index of pair p when stamp[p] == epoch, else unset.
+	entryAt []int32
+	stamp   []int32
+	epoch   int32
+
+	// Per-pass label grouping: entries are threaded into one chain per
+	// label (labelHead, entryNext), labels listing the labels touched this
+	// pass. Epoch-stamped like the pair scratch, replacing a per-pass sort.
+	labelHead, labelStamp []int32
+	entryNext             []int32
+	labels                []int32
 }
 
-func newPTState(pr *Problem) *ptState {
-	n := pr.N
+func newPTState(idx *lts.Index, initial []int32) *ptState {
+	n := idx.N()
 	st := &ptState{
 		n:         n,
-		numLabels: pr.NumLabels,
-		elems:     make([]int32, n),
+		numLabels: idx.NumLabels(),
 		loc:       make([]int32, n),
-		blk:       pr.initialBlocks(),
-		edges:     pr.Edges,
+		blk:       make([]int32, n),
 	}
+	st.revStart, st.revFrom, st.revLabel = idx.Rev()
 
-	// Group elements by initial block (counting sort).
-	numBlk := int32(0)
-	for _, b := range st.blk {
-		if b+1 > numBlk {
-			numBlk = b + 1
+	// Seed the Q-partition by (initial block, outgoing-label-set signature).
+	// Grouping by the signature makes Q stable w.r.t. the universe per
+	// label — within a block, either all elements have an l-edge or none
+	// do — which is the invariant the classic initialization establishes by
+	// splitting on each label's support set in turn. The grouping is two
+	// stable counting passes (by signature, then by initial block); the
+	// sorted order doubles as the elems permutation.
+	sigOf, numSigs := idx.Signatures()
+	initOf := func(x int32) int32 {
+		if initial == nil {
+			return 0
+		}
+		return initial[x]
+	}
+	maxInit := int32(0)
+	for _, b := range initial {
+		if b > maxInit {
+			maxInit = b
 		}
 	}
-	counts := make([]int32, numBlk+1)
-	for _, b := range st.blk {
-		counts[b+1]++
+	tmp := make([]int32, n)
+	c1 := make([]int32, numSigs+1)
+	for x := 0; x < n; x++ {
+		c1[sigOf[x]+1]++
 	}
-	for i := int32(1); i <= numBlk; i++ {
-		counts[i] += counts[i-1]
+	for i := 1; i <= numSigs; i++ {
+		c1[i] += c1[i-1]
 	}
-	st.bStart = make([]int32, numBlk)
-	st.bEnd = make([]int32, numBlk)
-	st.bMarked = make([]int32, numBlk)
-	for b := int32(0); b < numBlk; b++ {
-		st.bStart[b] = counts[b]
-		st.bEnd[b] = counts[b+1]
-	}
-	fill := make([]int32, numBlk)
-	copy(fill, st.bStart)
 	for x := int32(0); x < int32(n); x++ {
-		b := st.blk[x]
-		st.elems[fill[b]] = x
-		st.loc[x] = fill[b]
-		fill[b]++
+		tmp[c1[sigOf[x]]] = x
+		c1[sigOf[x]]++
 	}
+	st.elems = make([]int32, n)
+	c2 := make([]int32, maxInit+2)
+	for _, x := range tmp {
+		c2[initOf(x)+1]++
+	}
+	for i := int32(1); i <= maxInit+1; i++ {
+		c2[i] += c2[i-1]
+	}
+	for _, x := range tmp {
+		st.elems[c2[initOf(x)]] = x
+		c2[initOf(x)]++
+	}
+	// Runs of equal (initial, signature) in elems are the seed blocks.
+	numBlk := int32(0)
+	prevI, prevS := int32(-1), int32(-1)
+	for pos, x := range st.elems {
+		i, s := initOf(x), sigOf[x]
+		if pos == 0 || i != prevI || s != prevS {
+			st.bStart = append(st.bStart, int32(pos))
+			if pos > 0 {
+				st.bEnd = append(st.bEnd, int32(pos))
+			}
+			numBlk++
+			prevI, prevS = i, s
+		}
+		st.blk[x] = numBlk - 1
+		st.loc[x] = int32(pos)
+	}
+	st.bEnd = append(st.bEnd, int32(n))
+	st.bMarked = make([]int32, numBlk)
 
-	// CSR of in-edges by target.
-	st.preStart = make([]int32, n+1)
-	for _, e := range pr.Edges {
-		st.preStart[e.To+1]++
-	}
-	for i := 1; i <= n; i++ {
-		st.preStart[i] += st.preStart[i-1]
-	}
-	st.preEdges = make([]int32, len(pr.Edges))
-	fillE := make([]int32, n)
-	for i, e := range pr.Edges {
-		st.preEdges[st.preStart[e.To]+fillE[e.To]] = int32(i)
-		fillE[e.To]++
-	}
+	// Count records: copy the skeleton (counts of edges into the universe
+	// and the record of every reverse edge); the run appends new records as
+	// X-blocks split. The skeleton itself doubles as the stable pair-id
+	// array for the splitter scratch.
+	recCount, revRec, numRecs := idx.Records()
+	st.cnt = make([]int32, numRecs, numRecs+16)
+	copy(st.cnt, recCount)
+	st.edgeRec = make([]int32, len(revRec))
+	copy(st.edgeRec, revRec)
+	st.revPair = revRec
+	st.entryAt = make([]int32, numRecs)
+	st.stamp = make([]int32, numRecs)
+	st.epoch = 0
+	st.labelHead = make([]int32, st.numLabels)
+	st.labelStamp = make([]int32, st.numLabels)
 
 	// The universe starts as the single X-block containing every Q-block.
 	all := make([]int32, numBlk)
@@ -123,37 +195,6 @@ func newPTState(pr *Problem) *ptState {
 	}
 	st.xBlocks = [][]int32{all}
 	st.inC = []bool{false}
-
-	// One count record per (from, label) with outdegree > 0: the count of
-	// edges into the universe. Edges are mapped to their record. The
-	// support list per label (elements with at least one l-edge) falls out
-	// of the same dedup pass.
-	st.edgeRec = make([]int32, len(pr.Edges))
-	recOf := make(map[int64]int32, len(pr.Edges))
-	support := make([][]int32, pr.NumLabels)
-	for i, e := range pr.Edges {
-		key := int64(e.From)*int64(pr.NumLabels) + int64(e.Label)
-		r, ok := recOf[key]
-		if !ok {
-			r = int32(len(st.cnt))
-			st.cnt = append(st.cnt, 0)
-			recOf[key] = r
-			support[e.Label] = append(support[e.Label], e.From)
-		}
-		st.cnt[r]++
-		st.edgeRec[i] = r
-	}
-
-	// Pre-split so Q is stable w.r.t. the universe per label: within a
-	// block, either all elements have an l-edge or none do. Splitting by
-	// each label's support set sequentially achieves the signature split.
-	for l := int32(0); l < int32(pr.NumLabels); l++ {
-		for _, x := range support[l] {
-			st.mark(x)
-		}
-		st.splitMarked()
-	}
-
 	if len(st.xBlocks[0]) >= 2 {
 		st.inC[0] = true
 		st.work = append(st.work, 0)
@@ -216,14 +257,15 @@ func (st *ptState) blockSize(b int32) int32 { return st.bEnd[b] - st.bStart[b] }
 func (st *ptState) run() {
 	// passEntry accumulates the per-(x, label) information of one splitter
 	// pass: the number of edges into B, the old (x, l, S) record and the
-	// new (x, l, B) record.
+	// new (x, l, B) record. Entries are located through the stable pair ids
+	// of the index skeleton (st.revPair) and the epoch-stamped scratch —
+	// a perfect hash, so the pass does no map work.
 	type passEntry struct {
 		x, l   int32
 		cntB   int32
 		oldRec int32
 		newRec int32
 	}
-	entryOf := map[int64]int32{}
 	var entries []passEntry
 
 	for len(st.work) > 0 {
@@ -257,24 +299,19 @@ func (st *ptState) run() {
 
 		// Pass 1: scan in-edges of B, accumulating per-(x, l) counts.
 		entries = entries[:0]
-		for k := range entryOf {
-			delete(entryOf, k)
-		}
+		st.epoch++
 		for i := st.bStart[b]; i < st.bEnd[b]; i++ {
 			y := st.elems[i]
-			for j := st.preStart[y]; j < st.preStart[y+1]; j++ {
-				e := st.preEdges[j]
-				from, l := st.edges[e].From, st.edges[e].Label
-				key := int64(from)*int64(st.numLabels) + int64(l)
-				idx, ok := entryOf[key]
-				if !ok {
-					idx = int32(len(entries))
+			for j := st.revStart[y]; j < st.revStart[y+1]; j++ {
+				p := st.revPair[j]
+				if st.stamp[p] != st.epoch {
+					st.stamp[p] = st.epoch
+					st.entryAt[p] = int32(len(entries))
 					entries = append(entries, passEntry{
-						x: from, l: l, oldRec: st.edgeRec[e], newRec: -1,
+						x: st.revFrom[j], l: st.revLabel[j], oldRec: st.edgeRec[j], newRec: -1,
 					})
-					entryOf[key] = idx
 				}
-				entries[idx].cntB++
+				entries[st.entryAt[p]].cntB++
 			}
 		}
 		if len(entries) == 0 {
@@ -291,38 +328,42 @@ func (st *ptState) run() {
 		}
 		for i := st.bStart[b]; i < st.bEnd[b]; i++ {
 			y := st.elems[i]
-			for j := st.preStart[y]; j < st.preStart[y+1]; j++ {
-				e := st.preEdges[j]
-				from, l := st.edges[e].From, st.edges[e].Label
-				key := int64(from)*int64(st.numLabels) + int64(l)
-				st.edgeRec[e] = entries[entryOf[key]].newRec
+			for j := st.revStart[y]; j < st.revStart[y+1]; j++ {
+				st.edgeRec[j] = entries[st.entryAt[st.revPair[j]]].newRec
 			}
 		}
 
-		// Phase 3: refine per label. Sort entries by label so each label is
-		// handled in one contiguous group.
-		sort.Slice(entries, func(i, j int) bool { return entries[i].l < entries[j].l })
-		for lo := 0; lo < len(entries); {
-			hi := lo
-			for hi < len(entries) && entries[hi].l == entries[lo].l {
-				hi++
+		// Phase 3: refine per label. Entries are threaded into one chain per
+		// touched label (the epoch trick again), replacing a per-pass sort.
+		if cap(st.entryNext) < len(entries) {
+			st.entryNext = make([]int32, len(entries)+len(entries)/2)
+		}
+		st.labels = st.labels[:0]
+		for idx := range entries {
+			l := entries[idx].l
+			if st.labelStamp[l] != st.epoch {
+				st.labelStamp[l] = st.epoch
+				st.labelHead[l] = -1
+				st.labels = append(st.labels, l)
 			}
-			group := entries[lo:hi]
+			st.entryNext[idx] = st.labelHead[l]
+			st.labelHead[l] = int32(idx)
+		}
+		for _, l := range st.labels {
 			// Split 1: predecessors of B vs the rest.
-			for _, en := range group {
-				st.mark(en.x)
+			for idx := st.labelHead[l]; idx >= 0; idx = st.entryNext[idx] {
+				st.mark(entries[idx].x)
 			}
 			st.splitMarked()
 			// Split 2 (three-way): among predecessors of B, those with no
 			// remaining l-edges into S-B (old record drained) split from
 			// those with edges into both.
-			for _, en := range group {
-				if st.cnt[en.oldRec] == 0 {
-					st.mark(en.x)
+			for idx := st.labelHead[l]; idx >= 0; idx = st.entryNext[idx] {
+				if st.cnt[entries[idx].oldRec] == 0 {
+					st.mark(entries[idx].x)
 				}
 			}
 			st.splitMarked()
-			lo = hi
 		}
 	}
 }

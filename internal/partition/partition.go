@@ -20,12 +20,22 @@
 //     running in O(m log n) splitter work. This is the algorithm behind
 //     Theorem 3.1.
 //
+// Both solvers consume a prebuilt lts.Index — the repository's shared CSR
+// refinement kernel — so hot-path callers (core, automata, hml, the
+// engine) hand in a cached index and pay zero per-call edge-slice
+// allocation. The Problem type with its explicit edge list remains as the
+// package's self-contained instance description (tests, one-off callers);
+// its methods are thin wrappers that build the index on the fly,
+// deduplicating duplicate edges in the process.
+//
 // The package is agnostic to FSPs: callers map actions to dense labels.
 package partition
 
 import (
 	"fmt"
 	"sort"
+
+	"ccs/internal/lts"
 )
 
 // Edge is one arc of a function graph: To ∈ f_Label(From).
@@ -175,11 +185,45 @@ func (p *Partition) densify() {
 // initialBlocks returns a copy of the initial block assignment (single
 // block when Initial is nil).
 func (pr *Problem) initialBlocks() []int32 {
-	blk := make([]int32, pr.N)
-	if pr.Initial != nil {
-		copy(blk, pr.Initial)
+	return initialBlocks(pr.N, pr.Initial)
+}
+
+// Index builds the lts refinement index of the instance's edge list.
+// Duplicate (from, label, to) edges are deduplicated here — Delta is a
+// relation, and duplicates would only inflate splitter work.
+func (pr *Problem) Index() *lts.Index {
+	b := lts.NewBuilder(pr.N, pr.NumLabels)
+	for _, e := range pr.Edges {
+		b.Add(e.From, e.Label, e.To)
 	}
-	return blk
+	return b.Build()
+}
+
+// PaigeTarjan solves the instance with the O(m log n) three-way splitting
+// algorithm of Theorem 3.1. It is the edge-list convenience wrapper around
+// PaigeTarjanIndex: the index is built, used once and discarded, which is
+// exactly the re-indexing cost the cached-index entry point exists to
+// avoid (ccsbench E16 measures the difference).
+func (pr *Problem) PaigeTarjan() *Partition {
+	return PaigeTarjanIndex(pr.Index(), pr.Initial)
+}
+
+// Naive solves the instance with the paper's Lemma 3.2 method (see
+// NaiveIndex).
+func (pr *Problem) Naive() *Partition {
+	return NaiveIndex(pr.Index(), pr.Initial)
+}
+
+// RefineSteps runs at most k naive refinement rounds (see
+// RefineStepsIndex). k < 0 means "run to the fixed point".
+func (pr *Problem) RefineSteps(k int) (*Partition, int) {
+	return RefineStepsIndex(pr.Index(), pr.Initial, k)
+}
+
+// RefineSequence returns the full naive refinement ladder (see
+// RefineSequenceIndex).
+func (pr *Problem) RefineSequence() []*Partition {
+	return RefineSequenceIndex(pr.Index(), pr.Initial)
 }
 
 // Stable reports whether p satisfies condition (2) of the generalized
