@@ -74,7 +74,11 @@ func cmdBatch(args []string) (*bool, error) {
 	}
 	fmt.Printf("%d queries in %s (%d workers)\n", len(results), total.Round(time.Millisecond), poolSize)
 	if failed > 0 {
-		return nil, fmt.Errorf("%d of %d queries failed", failed, len(results))
+		// Exit 3, not 2: the batch ran, and "some queries could not be
+		// checked" must stay distinguishable both from a usage error and
+		// from the checked-but-inequivalent verdict (exit 1). The verdict
+		// lines above remain the per-query record.
+		return nil, &exitError{code: 3, err: fmt.Errorf("%d of %d queries failed", failed, len(results))}
 	}
 	return &allEq, nil
 }

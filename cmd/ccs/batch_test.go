@@ -36,6 +36,38 @@ func TestBatchDefaultRelation(t *testing.T) {
 	}
 }
 
+// notRestricted has a non-accepting state, so the failure relation rejects
+// it at check time — a per-query error, not an input error.
+const notRestricted = `fsp partial
+states 2
+start 0
+ext 0 x
+arc 0 a 1
+`
+
+// TestBatchQueryFailureExit: a batch whose queries ran but where some
+// could not be checked exits 3 — distinct from "all checked, some
+// inequivalent" (1) and from usage/input errors (2) — and the healthy
+// queries still report their verdicts.
+func TestBatchQueryFailureExit(t *testing.T) {
+	a := writeFixture(t, "a.fsp", chainTwo)
+	b := writeFixture(t, "b.fsp", chainBranch)
+	bad := writeFixture(t, "bad.fsp", notRestricted)
+	list := writeFixture(t, "list.txt", strings.Join([]string{
+		"strong " + a + " " + a,    // equivalent
+		"failure " + bad + " " + a, // errors: not restricted
+		"strong " + a + " " + b,    // inequivalent
+	}, "\n"))
+	if got := run([]string{"batch", list}); got != 3 {
+		t.Errorf("batch with a failing query = %d, want 3", got)
+	}
+	// The same queries without the failing line keep the verdict exit.
+	okList := writeFixture(t, "ok.txt", "strong "+a+" "+a+"\nstrong "+a+" "+b+"\n")
+	if got := run([]string{"batch", okList}); got != 1 {
+		t.Errorf("batch without the failing query = %d, want 1", got)
+	}
+}
+
 func TestBatchBadInput(t *testing.T) {
 	list := writeFixture(t, "list.txt", "strong onlyonefieldafterrel\n")
 	if got := run([]string{"batch", list}); got != 2 {

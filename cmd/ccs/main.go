@@ -4,6 +4,7 @@
 //
 //	ccs check  -rel strong|weak|trace|failure|kN|limitedN A B
 //	ccs batch  [-rel REL] [-workers N] LIST
+//	ccs network [-rel REL] [-flat] [-stats] FILE
 //	ccs expr   -rel ccs|language EXPR1 EXPR2
 //	ccs minimize -rel strong|weak A
 //	ccs explain [-weak] A B
@@ -13,10 +14,14 @@
 //
 // A and B name process files in the textual interchange format, or inline
 // star expressions when prefixed with "expr:". Exit status: 0 when a check
-// reports "equivalent", 1 when "inequivalent", 2 on usage or input errors.
+// reports "equivalent", 1 when "inequivalent", 2 on usage or input errors,
+// and 3 when a batch ran but some of its queries failed (the per-line
+// output distinguishes the errored queries from the checked-but-
+// inequivalent ones).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +31,16 @@ import (
 	"ccs/internal/failures"
 	"ccs/internal/fsp"
 )
+
+// exitError carries an explicit exit status through run's error path, so
+// subcommands can distinguish "the tool failed" (2) from "the run
+// completed and is reporting failures" (3, ccs batch).
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -43,6 +58,8 @@ func run(args []string) int {
 		verdict, err = cmdCheck(args[1:])
 	case "batch":
 		verdict, err = cmdBatch(args[1:])
+	case "network":
+		verdict, err = cmdNetwork(args[1:])
 	case "spectrum":
 		err = cmdSpectrum(args[1:])
 	case "refines":
@@ -75,6 +92,10 @@ func run(args []string) int {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ccs: %v\n", err)
+		var ee *exitError
+		if errors.As(err, &ee) {
+			return ee.code
+		}
 		return 2
 	}
 	if verdict != nil && !*verdict {
@@ -87,6 +108,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   ccs check    -rel strong|weak|trace|failure|congruence|simulation|kN|limitedN A B
   ccs batch    [-rel REL] [-workers N] [-timeout D] LIST   # concurrent pair list
+  ccs network  [-rel REL] [-flat] [-stats] FILE            # compositional check
   ccs spectrum A B
   ccs refines  SPEC IMPL
   ccs divergent A
@@ -101,7 +123,13 @@ func usage() {
 
 A and B are process files (native format, or .aut by extension), or star
 expressions prefixed "expr:". The batch LIST (or - for stdin) has one
-"[RELATION] A B" query per line; '#' starts a comment.
+"[RELATION] A B" query per line; '#' starts a comment. Batch exit status:
+0 all equivalent, 1 some inequivalent, 2 usage/input error, 3 some
+queries failed to check.
+The network FILE describes a process network, one directive per line:
+"component A [in=c0 out=c1]" (repeatable, with optional old=new
+relabelings), "hide c1 c2 ...", "spec S", "rel weak"; components are
+minimized before composing unless -flat is given.
 HML formulas: tt, ff, <a>phi, [a]phi, !phi, phi&phi, phi|phi, ext(x);
 with -weak the process is saturated first and <eps> is available.
 `)

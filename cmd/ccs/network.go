@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ccs"
+)
+
+// cmdNetwork checks a network of communicating processes against a
+// specification through the compositional minimize-then-compose pipeline.
+// The network FILE has one directive per line:
+//
+//	component A [old=new ...]   # add an instance of process file A,
+//	                            # optionally relabeling its actions
+//	hide NAME...                # restrict channels (handshakes survive)
+//	spec S                      # the specification process
+//	rel REL                     # relation (overridden by -rel)
+//
+// Process arguments are files or "expr:" expressions, like everywhere
+// else; '#' starts a comment. Without a spec the composed (minimized)
+// process is printed in the interchange format instead of checked.
+// -flat skips component minimization; -stats additionally materializes
+// the flat product's refinement index to report its exact size.
+func cmdNetwork(args []string) (*bool, error) {
+	fs := flag.NewFlagSet("network", flag.ContinueOnError)
+	relFlag := fs.String("rel", "", "relation (default: the file's rel directive, else weak)")
+	flat := fs.Bool("flat", false, "compose the flat product (skip component minimization)")
+	stats := fs.Bool("stats", false, "report flat product size via the CSR index")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("network wants one description file argument (or - for stdin)")
+	}
+	var in io.Reader = os.Stdin
+	if fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	net, spec, fileRel, err := parseNetwork(in)
+	if err != nil {
+		return nil, err
+	}
+	relName := "weak"
+	if fileRel != "" {
+		relName = fileRel
+	}
+	if *relFlag != "" {
+		relName = *relFlag
+	}
+	rel, k, err := ccs.ParseRelation(relName)
+	if err != nil {
+		return nil, err
+	}
+
+	if *stats {
+		idx, _, err := net.Index()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "flat product: %d states, %d transitions\n", idx.N(), idx.NumEdges())
+	}
+
+	if spec == nil {
+		// No spec: emit the composed process itself.
+		composed, err := composeFor(net, *flat)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "composed: %d states, %d transitions (%s)\n",
+			composed.NumStates(), composed.NumTransitions(), routeName(*flat))
+		fmt.Print(ccs.FormatProcess(composed))
+		return nil, nil
+	}
+
+	var eq bool
+	if *flat {
+		composed, err := net.FSP()
+		if err != nil {
+			return nil, err
+		}
+		eq, err = ccs.Equivalent(composed, spec, rel, k)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		eq, err = ccs.CheckNetwork(context.Background(), net, spec, rel, k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if eq {
+		fmt.Printf("network equivalent to spec (%s, %s)\n", relName, routeName(*flat))
+	} else {
+		fmt.Printf("network NOT equivalent to spec (%s, %s)\n", relName, routeName(*flat))
+	}
+	return &eq, nil
+}
+
+func routeName(flat bool) string {
+	if flat {
+		return "flat composition"
+	}
+	return "minimize-then-compose"
+}
+
+// composeFor materializes the network on the selected route.
+func composeFor(net *ccs.Network, flat bool) (*ccs.Process, error) {
+	if flat {
+		return ccs.ComposeNetwork(net)
+	}
+	return ccs.MinimizeNetwork(net)
+}
+
+// parseNetwork reads the network description. Process files are loaded
+// once and shared across component instances, so the engine's artifact
+// cache minimizes each distinct process a single time.
+func parseNetwork(in io.Reader) (*ccs.Network, *ccs.Process, string, error) {
+	procs := map[string]*ccs.Process{}
+	load := func(arg string) (*ccs.Process, error) {
+		if p, ok := procs[arg]; ok {
+			return p, nil
+		}
+		p, err := loadProcess(arg)
+		if err != nil {
+			return nil, err
+		}
+		procs[arg] = p
+		return p, nil
+	}
+
+	net := &ccs.Network{}
+	var spec *ccs.Process
+	var rel string
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "name":
+			if len(fields) != 2 {
+				return nil, nil, "", fmt.Errorf("line %d: name wants one argument", lineNo)
+			}
+			net.Name = fields[1]
+		case "component":
+			if len(fields) < 2 {
+				return nil, nil, "", fmt.Errorf("line %d: component wants a process argument", lineNo)
+			}
+			p, err := load(fields[1])
+			if err != nil {
+				return nil, nil, "", fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			var relabel map[string]string
+			for _, pair := range fields[2:] {
+				old, to, ok := strings.Cut(pair, "=")
+				if !ok || old == "" || to == "" {
+					return nil, nil, "", fmt.Errorf("line %d: relabeling %q is not old=new", lineNo, pair)
+				}
+				if relabel == nil {
+					relabel = map[string]string{}
+				}
+				relabel[old] = to
+			}
+			net.Add(p, relabel)
+		case "hide":
+			if len(fields) < 2 {
+				return nil, nil, "", fmt.Errorf("line %d: hide wants channel names", lineNo)
+			}
+			net.Hide(fields[1:]...)
+		case "spec":
+			if len(fields) != 2 {
+				return nil, nil, "", fmt.Errorf("line %d: spec wants one process argument", lineNo)
+			}
+			p, err := load(fields[1])
+			if err != nil {
+				return nil, nil, "", fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			spec = p
+		case "rel":
+			if len(fields) != 2 {
+				return nil, nil, "", fmt.Errorf("line %d: rel wants one relation name", lineNo)
+			}
+			rel = fields[1]
+		default:
+			return nil, nil, "", fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, "", err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, nil, "", err
+	}
+	return net, spec, rel, nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// relayCell is a one-place buffer with one internal churn step:
+// in · tau · out' · (repeat). Every state accepts.
+const relayCell = `fsp cell
+states 3
+start 0
+ext 0 x
+ext 1 x
+ext 2 x
+arc 0 in 1
+arc 1 tau 2
+arc 2 out' 0
+`
+
+// counterTwo is the 2-place buffer specification on channels c0/c2'.
+const counterTwo = `fsp counter
+states 3
+start 0
+ext 0 x
+ext 1 x
+ext 2 x
+arc 0 c0 1
+arc 1 c2' 0
+arc 1 c0 2
+arc 2 c2' 1
+`
+
+func relayNetFile(t *testing.T, cell, spec string, extra ...string) string {
+	t.Helper()
+	lines := []string{
+		"# two chained buffer cells vs a 2-place buffer",
+		"name relay2",
+		"component " + cell + " in=c0 out=c1",
+		"component " + cell + " in=c1 out=c2",
+		"hide c1",
+	}
+	if spec != "" {
+		lines = append(lines, "spec "+spec)
+	}
+	lines = append(lines, extra...)
+	return writeFixture(t, "net.txt", strings.Join(lines, "\n")+"\n")
+}
+
+func TestNetworkCheck(t *testing.T) {
+	cell := writeFixture(t, "cell.fsp", relayCell)
+	spec := writeFixture(t, "counter.fsp", counterTwo)
+	net := relayNetFile(t, cell, spec)
+	if got := run([]string{"network", net}); got != 0 {
+		t.Errorf("relay network vs counter (minimize-then-compose) = %d, want 0", got)
+	}
+	if got := run([]string{"network", "-flat", "-stats", net}); got != 0 {
+		t.Errorf("relay network vs counter (flat) = %d, want 0", got)
+	}
+	// Against the wrong spec the verdict is inequivalent: exit 1.
+	one := writeFixture(t, "one.fsp", strings.Replace(counterTwo,
+		"arc 1 c0 2", "arc 1 tau 1", 1))
+	badNet := relayNetFile(t, cell, one)
+	if got := run([]string{"network", badNet}); got != 1 {
+		t.Errorf("relay network vs wrong spec = %d, want 1", got)
+	}
+	// Both routes agree on the negative verdict too.
+	if got := run([]string{"network", "-flat", badNet}); got != 1 {
+		t.Errorf("relay network vs wrong spec (flat) = %d, want 1", got)
+	}
+}
+
+func TestNetworkRelDirective(t *testing.T) {
+	cell := writeFixture(t, "cell.fsp", relayCell)
+	spec := writeFixture(t, "counter.fsp", counterTwo)
+	// Strong equivalence must fail: the product has tau moves the
+	// tau-free counter cannot match.
+	net := relayNetFile(t, cell, spec, "rel strong")
+	if got := run([]string{"network", net}); got != 1 {
+		t.Errorf("strong network check = %d, want 1", got)
+	}
+	// The -rel flag overrides the file directive back to weak.
+	if got := run([]string{"network", "-rel", "weak", net}); got != 0 {
+		t.Errorf("-rel weak override = %d, want 0", got)
+	}
+}
+
+func TestNetworkWithoutSpecPrintsProcess(t *testing.T) {
+	cell := writeFixture(t, "cell.fsp", relayCell)
+	net := relayNetFile(t, cell, "")
+	if got := run([]string{"network", net}); got != 0 {
+		t.Errorf("spec-less network = %d, want 0", got)
+	}
+}
+
+func TestNetworkBadInput(t *testing.T) {
+	cell := writeFixture(t, "cell.fsp", relayCell)
+	cases := map[string]string{
+		"unknown directive": "frobnicate x\n",
+		"bad relabel":       "component " + cell + " in=\n",
+		"no components":     "hide c1\n",
+		"missing file":      "component /nonexistent/process\n",
+		"tau relabel":       "component " + cell + " tau=c0\n",
+	}
+	for name, content := range cases {
+		file := writeFixture(t, "bad.txt", content)
+		if got := run([]string{"network", file}); got != 2 {
+			t.Errorf("%s: exit = %d, want 2", name, got)
+		}
+	}
+}

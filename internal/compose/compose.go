@@ -1,0 +1,429 @@
+// Package compose implements networks of communicating processes: the CCS
+// parallel composition, restriction and relabeling operators of Section 6
+// of Kanellakis & Smolka, lifted from the binary fsp.Compose to an n-ary
+// Network with a single reachable-product explorer behind it.
+//
+// The point of the package is scale. On a network of k components the
+// composed state space is exponential in k, so the composed process must
+// never be built carelessly: the explorer applies restriction inline (a
+// pruned interleaving is never generated, let alone removed afterwards),
+// interns only reachable product states, and can materialize the product
+// either as an *fsp.FSP (for the quotient and saturation pipelines) or
+// directly into the internal/lts CSR refinement index — no intermediate
+// edge slices, no per-arc name interning — for callers that only need to
+// partition, count or benchmark the product.
+//
+// Composition semantics are Milner's: components interleave on their
+// (relabeled) actions, complementary actions — "a" in one component, "a'"
+// in another — synchronize pairwise into a single tau move, and hiding a
+// channel removes its unsynchronized interleavings while keeping the
+// handshake taus ((P | Q)\L). Extensions of a product state are the union
+// of the component extensions, exactly as in fsp.Compose.
+//
+// The payoff used by internal/engine is compositionality: observation
+// congruence ≈ᶜ (and ~, and — for the operators used here — even plain ≈)
+// is preserved by composition, restriction and relabeling, so each
+// component can be quotiented before the product is taken. See
+// engine.CheckNetwork for the minimize-then-compose pipeline and ccsbench
+// E17 for the measured effect.
+package compose
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ccs/internal/fsp"
+	"ccs/internal/lts"
+)
+
+// Component is one process instance inside a Network, with an optional
+// relabeling of its observable actions (CCS P[f]). Relabel maps action
+// names to action names; a base-name entry "a" -> "b" also carries the
+// co-name "a'" to "b'" unless an explicit "a'" entry overrides it.
+type Component struct {
+	P       *fsp.FSP
+	Relabel map[string]string
+}
+
+// Network describes the parallel composition of its components with the
+// channels in Hidden restricted afterwards: (C1[f1] | ... | Ck[fk]) \ Hidden.
+// The zero value is unusable; construct with New and extend with Add/Hide.
+type Network struct {
+	Name       string
+	Components []Component
+	Hidden     []string
+}
+
+// New returns a network named name over the given components (no
+// relabeling, nothing hidden).
+func New(name string, ps ...*fsp.FSP) *Network {
+	n := &Network{Name: name}
+	for _, p := range ps {
+		n.Add(p, nil)
+	}
+	return n
+}
+
+// Add appends a component instance with an optional relabeling and returns
+// the network for chaining. The same *fsp.FSP may be added more than once
+// (self-composition); instances are independent.
+func (n *Network) Add(p *fsp.FSP, relabel map[string]string) *Network {
+	n.Components = append(n.Components, Component{P: p, Relabel: relabel})
+	return n
+}
+
+// Hide appends channel names to the restriction set and returns the
+// network for chaining. Hiding a name also hides its co-name.
+func (n *Network) Hide(names ...string) *Network {
+	n.Hidden = append(n.Hidden, names...)
+	return n
+}
+
+// Validate checks the network description: at least one component, no nil
+// processes, no relabeling or hiding of tau (or of the saturation epsilon,
+// which is not a CCS action).
+func (n *Network) Validate() error {
+	if len(n.Components) == 0 {
+		return fmt.Errorf("compose: network %q has no components", n.Name)
+	}
+	for i, c := range n.Components {
+		if c.P == nil {
+			return fmt.Errorf("compose: network %q component %d is nil", n.Name, i)
+		}
+		for from, to := range c.Relabel {
+			if from == fsp.TauName || to == fsp.TauName {
+				return fmt.Errorf("compose: component %d relabels tau (%q -> %q); CCS relabeling fixes tau", i, from, to)
+			}
+			if from == fsp.EpsilonName || to == fsp.EpsilonName {
+				return fmt.Errorf("compose: component %d relabels %q; the saturation epsilon is not a CCS action", i, from)
+			}
+		}
+	}
+	for _, h := range n.Hidden {
+		if h == fsp.TauName {
+			return fmt.Errorf("compose: tau cannot be hidden")
+		}
+	}
+	return nil
+}
+
+// String renders the CCS shape of the network.
+func (n *Network) String() string {
+	parts := make([]string, len(n.Components))
+	for i, c := range n.Components {
+		nm := c.P.Name()
+		if nm == "" {
+			nm = "fsp"
+		}
+		if len(c.Relabel) > 0 {
+			nm += "[...]"
+		}
+		parts[i] = nm
+	}
+	s := "(" + strings.Join(parts, "|") + ")"
+	if len(n.Hidden) > 0 {
+		s += "\\{" + strings.Join(n.Hidden, ",") + "}"
+	}
+	return s
+}
+
+// productSink receives the reachable product as it is explored. States are
+// announced in discovery order (state i is the i-th addState call; state 0
+// is the start), so arcs only ever mention already-announced states.
+type productSink interface {
+	addState(extNames []string)
+	addArc(from, label, to int32)
+}
+
+// parc is a component transition translated into the network's dense label
+// space; label 0 is tau.
+type parc struct {
+	label int32
+	to    int32
+}
+
+// explorer holds the precomputed per-component views and the network-level
+// label tables the product walk runs on.
+type explorer struct {
+	labels []string     // dense label names; labels[0] == "tau"
+	coOf   []int32      // coOf[l] = dense id of the co-name of l, or -1
+	hidden []bool       // hidden[l]: l's interleavings are restricted
+	trans  [][][]parc   // trans[i][s], sorted by (label, to)
+	exts   [][][]string // exts[i][s]: extension variable names
+	starts []int32
+}
+
+// newExplorer translates every component into the shared dense label space:
+// relabelings are applied by name (with co-name transport), the hidden set
+// is marked on names and co-names, and per-state arcs are re-sorted by the
+// dense label so handshake partners are found by binary search.
+func (n *Network) newExplorer() (*explorer, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	e := &explorer{labels: []string{fsp.TauName}}
+	ids := map[string]int32{fsp.TauName: 0}
+	intern := func(name string) int32 {
+		if id, ok := ids[name]; ok {
+			return id
+		}
+		id := int32(len(e.labels))
+		e.labels = append(e.labels, name)
+		ids[name] = id
+		return id
+	}
+
+	k := len(n.Components)
+	e.trans = make([][][]parc, k)
+	e.exts = make([][][]string, k)
+	e.starts = make([]int32, k)
+	for i, comp := range n.Components {
+		f := comp.P
+		e.starts[i] = int32(f.Start())
+		// Per-action dense label after relabeling. An explicit entry for a
+		// name wins; otherwise a base-name entry carries its co-name.
+		actLabel := make([]int32, f.Alphabet().Len())
+		for a := 1; a < f.Alphabet().Len(); a++ {
+			name := f.Alphabet().Name(fsp.Action(a))
+			if to, ok := comp.Relabel[name]; ok {
+				name = to
+			} else if base, isCo := strings.CutSuffix(name, "'"); isCo {
+				if to, ok := comp.Relabel[base]; ok {
+					// CoName, not to+"'": the map may target a co-name
+					// ("b" -> "a'"), and CoName is involutive, so b' must
+					// become a — a doubled quote would never handshake.
+					name = fsp.CoName(to)
+				}
+			}
+			actLabel[a] = intern(name)
+		}
+		e.trans[i] = make([][]parc, f.NumStates())
+		e.exts[i] = make([][]string, f.NumStates())
+		for s := 0; s < f.NumStates(); s++ {
+			arcs := f.Arcs(fsp.State(s))
+			ps := make([]parc, len(arcs))
+			for j, a := range arcs {
+				lbl := int32(0)
+				if a.Act != fsp.Tau {
+					lbl = actLabel[a.Act]
+				}
+				ps[j] = parc{label: lbl, to: int32(a.To)}
+			}
+			sort.Slice(ps, func(x, y int) bool {
+				if ps[x].label != ps[y].label {
+					return ps[x].label < ps[y].label
+				}
+				return ps[x].to < ps[y].to
+			})
+			e.trans[i][s] = ps
+			if ext := f.Ext(fsp.State(s)); ext != fsp.EmptyVars {
+				var names []string
+				for _, id := range ext.IDs() {
+					names = append(names, f.Vars().Name(id))
+				}
+				e.exts[i][s] = names
+			}
+		}
+	}
+
+	e.coOf = make([]int32, len(e.labels))
+	e.hidden = make([]bool, len(e.labels))
+	for l := 1; l < len(e.labels); l++ {
+		if co, ok := ids[fsp.CoName(e.labels[l])]; ok {
+			e.coOf[l] = co
+		} else {
+			e.coOf[l] = -1
+		}
+	}
+	e.coOf[0] = -1
+	for _, h := range n.Hidden {
+		if id, ok := ids[h]; ok {
+			e.hidden[id] = true
+		}
+		if id, ok := ids[fsp.CoName(h)]; ok {
+			e.hidden[id] = true
+		}
+	}
+	return e, nil
+}
+
+// span returns the run of arcs labelled l in the label-sorted slice ps.
+func span(ps []parc, l int32) []parc {
+	lo := sort.Search(len(ps), func(i int) bool { return ps[i].label >= l })
+	hi := lo
+	for hi < len(ps) && ps[hi].label == l {
+		hi++
+	}
+	return ps[lo:hi]
+}
+
+// run walks the reachable product, interning state vectors in discovery
+// order and emitting every product transition into the sink exactly as the
+// CCS semantics dictates: interleavings of unhidden actions, plus pairwise
+// complementary handshakes as tau. Restriction never removes a handshake.
+func (e *explorer) run(sink productSink) {
+	k := len(e.trans)
+	ids := map[string]int32{}
+	var order []int32 // flat vectors, stride k
+	keyBuf := make([]byte, 4*k)
+	key := func(v []int32) string {
+		for i, s := range v {
+			keyBuf[4*i] = byte(s)
+			keyBuf[4*i+1] = byte(s >> 8)
+			keyBuf[4*i+2] = byte(s >> 16)
+			keyBuf[4*i+3] = byte(s >> 24)
+		}
+		return string(keyBuf)
+	}
+	extScratch := map[string]bool{}
+	intern := func(v []int32) int32 {
+		kk := key(v)
+		if id, ok := ids[kk]; ok {
+			return id
+		}
+		id := int32(len(order) / k)
+		ids[kk] = id
+		order = append(order, v...)
+		// Extension: union of the component extensions by name.
+		clear(extScratch)
+		var names []string
+		for i, s := range v {
+			for _, nm := range e.exts[i][s] {
+				if !extScratch[nm] {
+					extScratch[nm] = true
+					names = append(names, nm)
+				}
+			}
+		}
+		sort.Strings(names)
+		sink.addState(names)
+		return id
+	}
+
+	cur := make([]int32, k)
+	succ := make([]int32, k)
+	copy(cur, e.starts)
+	intern(cur)
+	for head := int32(0); int(head)*k < len(order); head++ {
+		copy(cur, order[int(head)*k:int(head)*k+k])
+		for i := 0; i < k; i++ {
+			arcs := e.trans[i][cur[i]]
+			for _, a := range arcs {
+				// Interleaving: tau always; observables unless hidden.
+				if a.label == 0 || !e.hidden[a.label] {
+					copy(succ, cur)
+					succ[i] = a.to
+					sink.addArc(head, a.label, intern(succ))
+				}
+				// Handshake with a later component: a.label in i, its
+				// co-label in j, jointly a tau. Scanning only j > i visits
+				// each unordered pair once (the co-label's own iteration
+				// at j would find the mirrored pair).
+				if a.label == 0 {
+					continue
+				}
+				co := e.coOf[a.label]
+				if co < 0 {
+					continue
+				}
+				for j := i + 1; j < k; j++ {
+					for _, b := range span(e.trans[j][cur[j]], co) {
+						copy(succ, cur)
+						succ[i] = a.to
+						succ[j] = b.to
+						sink.addArc(head, 0, intern(succ))
+					}
+				}
+			}
+		}
+	}
+}
+
+// fspSink materializes the product as an *fsp.FSP. The builder's alphabet
+// is pre-interned in dense-label order, so dense label l is fsp.Action l.
+type fspSink struct {
+	b *fsp.Builder
+}
+
+func (s *fspSink) addState(extNames []string) {
+	st := s.b.AddState()
+	if len(extNames) > 0 {
+		s.b.Extend(st, extNames...)
+	}
+}
+
+func (s *fspSink) addArc(from, label, to int32) {
+	s.b.Arc(fsp.State(from), fsp.Action(label), fsp.State(to))
+}
+
+// FSP materializes the reachable product as a process: the composed FSP of
+// Milner's (C1[f1] | ... | Ck[fk]) \ Hidden, with only reachable states
+// constructed. Use this form to feed the product into the quotient,
+// saturation and equivalence pipelines.
+func (n *Network) FSP() (*fsp.FSP, error) {
+	e, err := n.newExplorer()
+	if err != nil {
+		return nil, err
+	}
+	name := n.Name
+	if name == "" {
+		name = n.String()
+	}
+	b := fsp.NewBuilder(name)
+	for _, l := range e.labels[1:] {
+		b.Action(l)
+	}
+	sink := &fspSink{b: b}
+	e.run(sink)
+	b.SetStart(0)
+	out, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("compose: %w", err)
+	}
+	return out, nil
+}
+
+// csrSink streams the product straight into the CSR refinement index,
+// tracking the extension signature of each state for the initial
+// partition. No *fsp.FSP, no name interning per arc, no edge slices beyond
+// the index builder's own columnar buffers.
+type csrSink struct {
+	b       *lts.Builder
+	initial []int32
+	sigs    map[string]int32
+	buf     []byte
+}
+
+func (s *csrSink) addState(extNames []string) {
+	s.b.EnsureStates(len(s.initial) + 1)
+	s.buf = s.buf[:0]
+	for _, nm := range extNames {
+		s.buf = append(s.buf, nm...)
+		s.buf = append(s.buf, 0)
+	}
+	blk, ok := s.sigs[string(s.buf)]
+	if !ok {
+		blk = int32(len(s.sigs))
+		s.sigs[string(s.buf)] = blk
+	}
+	s.initial = append(s.initial, blk)
+}
+
+func (s *csrSink) addArc(from, label, to int32) { s.b.Add(from, label, to) }
+
+// Index materializes the reachable product directly into the internal/lts
+// refinement index together with the extension-grouped initial partition
+// (the Lemma 3.1 instance for the product). This is the flat-composition
+// fast path for callers that only partition, count or benchmark the
+// product: the FSP form is never built. Labels are named, so the index
+// unions with FromFSP-built indexes of other processes.
+func (n *Network) Index() (*lts.Index, []int32, error) {
+	e, err := n.newExplorer()
+	if err != nil {
+		return nil, nil, err
+	}
+	sink := &csrSink{b: lts.NewNamedBuilder(0, e.labels), sigs: map[string]int32{}}
+	e.run(sink)
+	return sink.b.Build(), sink.initial, nil
+}

@@ -62,15 +62,72 @@ func quotient(f *fsp.FSP, p *partition.Partition) (*fsp.FSP, []fsp.State, error)
 // derivatives that leave the class become tau-arcs. The result is
 // tau-minimal in the sense that tau arcs only connect distinct classes.
 func QuotientWeak(f *fsp.FSP, opts ...Option) (*fsp.FSP, []fsp.State, error) {
-	sat, eps, err := fsp.Saturate(f)
+	q, m, err := weakQuotient(f, "/≈", false, opts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("weak quotient: %w", err)
 	}
+	return q, m, nil
+}
+
+// QuotientCongruence returns a process observation-congruent (≈ᶜ) to f.
+// It is the ≈-quotient except possibly at the root: merging the start
+// state into its ≈-class can erase an initial tau (the tau·a ≈ a but
+// tau·a ≉ᶜ a separation), so when the start has a direct tau move into
+// its own class the quotient gets one extra state — a fresh root carrying
+// the root class's arcs plus an explicit tau into that class, which
+// restores the strengthened root condition. The result therefore has at
+// most one state more than the ≈-quotient.
+//
+// ≈ᶜ is a congruence for every CCS operator, so the output can replace f
+// inside any compose.Network (composition, restriction, relabeling) for
+// any equivalence coarser than ≈ᶜ — the soundness fact behind the
+// engine's minimize-then-compose pipeline.
+func QuotientCongruence(f *fsp.FSP, opts ...Option) (*fsp.FSP, []fsp.State, error) {
+	q, m, err := weakQuotient(f, "/≈ᶜ", true, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("congruence quotient: %w", err)
+	}
+	return q, m, nil
+}
+
+// weakQuotient collapses f along the ≈-partition of its states. With
+// rootFix set it additionally preserves observation congruence:
+//
+//   - If the start state p0 has no direct tau into its own ≈-class, the
+//     plain quotient start Q0 already satisfies the root condition: every
+//     tau arc of Q0 comes from a representative's epsilon derivative that
+//     leaves the class, which p0 matches with a nonempty tau path, and a
+//     stable p0 yields a stable Q0 (p0 could not leave its class silently).
+//   - Otherwise a fresh root r is appended that duplicates the root
+//     class's arcs plus an explicit tau arc into the root class C: p0's
+//     in-class tau is matched by r --tau--> C (members ≈ C), r's copied
+//     arcs are weak moves of p0's class, and r's extra tau is matched by
+//     p0's own in-class tau move. Hence r ≈ᶜ p0.
+func weakQuotient(f *fsp.FSP, suffix string, rootFix bool, opts []Option) (*fsp.FSP, []fsp.State, error) {
+	sat, eps, err := fsp.Saturate(f)
+	if err != nil {
+		return nil, nil, err
+	}
 	p := StrongPartition(sat, opts...)
 
-	b := fsp.NewBuilderWith(f.Name()+"/≈", f.Alphabet().Clone(), f.Vars().Clone())
+	rootBlk := p.Block(int32(f.Start()))
+	freshRoot := false
+	if rootFix {
+		for _, t := range f.Dest(f.Start(), fsp.Tau) {
+			if p.Block(int32(t)) == rootBlk {
+				freshRoot = true
+				break
+			}
+		}
+	}
+
+	b := fsp.NewBuilderWith(f.Name()+suffix, f.Alphabet().Clone(), f.Vars().Clone())
 	b.AddStates(p.NumBlocks())
-	b.SetStart(fsp.State(p.Block(int32(f.Start()))))
+	root := fsp.State(rootBlk)
+	if freshRoot {
+		root = b.AddState()
+	}
+	b.SetStart(root)
 
 	reps := make([]fsp.State, p.NumBlocks())
 	for i := range reps {
@@ -84,27 +141,36 @@ func QuotientWeak(f *fsp.FSP, opts ...Option) (*fsp.FSP, []fsp.State, error) {
 			reps[blk] = fsp.State(s)
 		}
 	}
-	for blk, rep := range reps {
+	emit := func(at fsp.State, rep fsp.State, ownBlk fsp.State) {
 		for _, a := range sat.Arcs(rep) {
 			toBlk := fsp.State(p.Block(int32(a.To)))
 			if a.Act == eps {
 				// Weak epsilon derivative: a tau edge in the quotient, but
 				// only when it leaves the class (self tau loops are
 				// observationally vacuous).
-				if toBlk != fsp.State(blk) {
-					b.Arc(fsp.State(blk), fsp.Tau, toBlk)
+				if toBlk != ownBlk {
+					b.Arc(at, fsp.Tau, toBlk)
 				}
 				continue
 			}
-			b.ArcName(fsp.State(blk), sat.Alphabet().Name(a.Act), toBlk)
+			b.ArcName(at, sat.Alphabet().Name(a.Act), toBlk)
 		}
 		for _, id := range f.Ext(rep).IDs() {
-			b.Extend(fsp.State(blk), f.Vars().Name(id))
+			b.Extend(at, f.Vars().Name(id))
 		}
+	}
+	for blk, rep := range reps {
+		emit(fsp.State(blk), rep, fsp.State(blk))
+	}
+	if freshRoot {
+		// The fresh root duplicates the root class's arcs (dropping the
+		// same in-class epsilons) and adds the explicit tau into it.
+		emit(root, reps[rootBlk], fsp.State(rootBlk))
+		b.Arc(root, fsp.Tau, fsp.State(rootBlk))
 	}
 	q, err := b.Build()
 	if err != nil {
-		return nil, nil, fmt.Errorf("weak quotient: %w", err)
+		return nil, nil, err
 	}
 	return q, mapping, nil
 }

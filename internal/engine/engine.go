@@ -23,7 +23,16 @@
 //     per-pair verdicts and timings.
 //
 // Processes are immutable (see fsp.FSP), so the cache is keyed by pointer
-// identity: pass the same *fsp.FSP value to benefit from reuse.
+// identity first, with a structural-hash fallback (fsp.Fingerprint /
+// fsp.StructuralEqual): parsing the same process text twice yields two
+// pointers but one set of cached artifacts.
+//
+// The engine is also network-aware: CheckNetwork decides queries about a
+// compose.Network by the minimize-then-compose pipeline — each component
+// is replaced by its cached quotient (~ for the strong relations, ≈ᶜ
+// otherwise; both are congruences for composition, restriction and
+// relabeling) before the product is materialized, so the composed state
+// space is built from minimal parts. See internal/compose.
 package engine
 
 import (
@@ -117,14 +126,20 @@ type Result struct {
 type Checker struct {
 	opts []core.Option
 
-	mu    sync.Mutex
-	procs map[*fsp.FSP]*artifacts
+	mu        sync.Mutex
+	procs     map[*fsp.FSP]*artifacts
+	byHash    map[uint64][]*artifacts
+	canonical int
 }
 
 // New returns an empty Checker. Options (e.g. core.WithAlgorithm) are
 // passed through to every partition solve.
 func New(opts ...core.Option) *Checker {
-	return &Checker{opts: opts, procs: map[*fsp.FSP]*artifacts{}}
+	return &Checker{
+		opts:   opts,
+		procs:  map[*fsp.FSP]*artifacts{},
+		byHash: map[uint64][]*artifacts{},
+	}
 }
 
 // artifacts caches the derived forms of one process. Each field group is
@@ -151,25 +166,73 @@ type artifacts struct {
 	weakOnce sync.Once
 	weakMin  *fsp.FSP
 	weakErr  error
+
+	congOnce sync.Once
+	congMin  *fsp.FSP
+	congErr  error
 }
 
-// art returns the (possibly fresh) artifact record for p.
+// aliasHighWater bounds the pointer-alias entries of c.procs: beyond
+// canonical records plus this many aliases, the alias entries are pruned.
+// Without the bound, a loop composing the same network forever would
+// retain every abandoned composed FSP as a permanent map key; with it, a
+// pruned alias merely pays one re-fingerprint on its next use.
+const aliasHighWater = 1024
+
+// art returns the (possibly fresh) artifact record for p. The fast path is
+// pointer identity; on a miss the structural fingerprint is consulted, so
+// a structurally identical process seen under another pointer (the same
+// text parsed twice, the same network composed twice) adopts the existing
+// record instead of silently doubling every artifact.
 func (c *Checker) art(p *fsp.FSP) *artifacts {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	a, ok := c.procs[p]
-	if !ok {
-		a = &artifacts{f: p}
-		c.procs[p] = a
+	if a, ok := c.procs[p]; ok {
+		c.mu.Unlock()
+		return a
 	}
+	c.mu.Unlock()
+	// Fingerprinting is O(states + arcs) and must not serialize the worker
+	// pool; Fingerprint is pure, so concurrent first touches of one
+	// pointer at worst hash twice.
+	h := fsp.Fingerprint(p)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a, ok := c.procs[p]; ok { // raced with another first touch
+		return a
+	}
+	for _, a := range c.byHash[h] {
+		if fsp.StructuralEqual(a.f, p) {
+			c.aliasInsert(p, a)
+			return a
+		}
+	}
+	a := &artifacts{f: p}
+	c.procs[p] = a
+	c.byHash[h] = append(c.byHash[h], a)
+	c.canonical++
 	return a
 }
 
-// Processes reports how many distinct processes the cache has seen.
+// aliasInsert maps the alias pointer p onto the canonical record a,
+// pruning all alias entries first when they exceed the high-water mark.
+// Called with c.mu held.
+func (c *Checker) aliasInsert(p *fsp.FSP, a *artifacts) {
+	if len(c.procs) >= c.canonical+aliasHighWater {
+		for k, rec := range c.procs {
+			if k != rec.f {
+				delete(c.procs, k)
+			}
+		}
+	}
+	c.procs[p] = a
+}
+
+// Processes reports how many structurally distinct processes the cache has
+// seen (pointer aliases of the same structure count once).
 func (c *Checker) Processes() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.procs)
+	return c.canonical
 }
 
 // Closure returns the memoized tau-closure of p.
@@ -194,28 +257,75 @@ func (c *Checker) Index(p *fsp.FSP) *lts.Index {
 // so Closure and Saturated share one closure computation.
 func (c *Checker) Saturated(p *fsp.FSP) (*fsp.FSP, fsp.Action, error) {
 	a := c.art(p)
-	a.satOnce.Do(func() { a.sat, a.satEps, a.satErr = fsp.SaturateWith(p, c.Closure(p)) })
+	a.satOnce.Do(func() {
+		defer derivationGuard(&a.satErr)
+		a.sat, a.satEps, a.satErr = fsp.SaturateWith(p, c.Closure(p))
+	})
 	return a.sat, a.satEps, a.satErr
 }
 
 // StrongQuotient returns the memoized canonical quotient of p modulo ~.
 func (c *Checker) StrongQuotient(p *fsp.FSP) (*fsp.FSP, error) {
 	a := c.art(p)
-	a.strongOnce.Do(func() { a.strongMin, _, a.strongErr = core.QuotientStrong(p, c.opts...) })
+	a.strongOnce.Do(func() {
+		defer derivationGuard(&a.strongErr)
+		a.strongMin, _, a.strongErr = core.QuotientStrong(p, c.opts...)
+	})
 	return a.strongMin, a.strongErr
 }
 
 // WeakQuotient returns the memoized canonical quotient of p modulo ≈.
 func (c *Checker) WeakQuotient(p *fsp.FSP) (*fsp.FSP, error) {
 	a := c.art(p)
-	a.weakOnce.Do(func() { a.weakMin, _, a.weakErr = core.QuotientWeak(p, c.opts...) })
+	a.weakOnce.Do(func() {
+		defer derivationGuard(&a.weakErr)
+		a.weakMin, _, a.weakErr = core.QuotientWeak(p, c.opts...)
+	})
 	return a.weakMin, a.weakErr
+}
+
+// CongruenceQuotient returns the memoized ≈ᶜ-preserving quotient of p
+// (core.QuotientCongruence): the ≈-quotient with the root condition
+// restored, sound to substitute for p inside any network context.
+func (c *Checker) CongruenceQuotient(p *fsp.FSP) (*fsp.FSP, error) {
+	a := c.art(p)
+	a.congOnce.Do(func() {
+		defer derivationGuard(&a.congErr)
+		a.congMin, _, a.congErr = core.QuotientCongruence(p, c.opts...)
+	})
+	return a.congMin, a.congErr
+}
+
+// derivationGuard converts a panic inside an artifact derivation into a
+// stored error. A malformed process (a hand-built zero value, a corrupted
+// state index) panics deep inside fsp or lts; sync.Once would mark the
+// derivation done anyway, so without this the first caller would crash the
+// process and later callers would read a nil artifact. With it, every
+// caller of the memoized accessor gets the same error.
+func derivationGuard(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("engine: artifact derivation panicked: %v", r)
+	}
 }
 
 // Check answers one query synchronously, consulting and populating the
 // artifact cache. A pointer-identical pair short-circuits to true: every
 // supported relation is reflexive.
-func (c *Checker) Check(ctx context.Context, q Query) (bool, error) {
+//
+// Check never panics: a malformed process that blows up deep inside an
+// algorithm (e.g. the out-of-range guards of internal/lts) is caught and
+// reported as the query's error, so one bad query in a batch cannot tear
+// down the worker pool or the caller's process.
+func (c *Checker) Check(ctx context.Context, q Query) (eq bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			eq, err = false, fmt.Errorf("engine: %s query panicked: %v", q.Rel, r)
+		}
+	}()
+	return c.check(ctx, q)
+}
+
+func (c *Checker) check(ctx context.Context, q Query) (bool, error) {
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}

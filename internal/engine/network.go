@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"ccs/internal/compose"
+	"ccs/internal/fsp"
+)
+
+// This file is the engine's network-aware query layer: equivalence
+// questions about a compose.Network are answered by the
+// minimize-then-compose pipeline instead of composing the flat product.
+//
+// Soundness. Parallel composition, restriction and relabeling — the only
+// operators a Network applies — preserve strong equivalence ~ and
+// observation congruence ≈ᶜ (both are full CCS congruences), and ≈ᶜ is
+// contained in ≈ and hence in every coarser relation of Table II. So each
+// component may be replaced by its quotient before the product is taken:
+//
+//	C[min(P)] rel C[P]   for every network context C and supported rel,
+//
+// with min = min~ for the strong relations (~ refines ≈ᶜ but a ≈ᶜ-minimum
+// is not ~-equivalent to its source, so strong queries need the finer
+// quotient) and min = min≈ᶜ for everything else. The quotients come from
+// the per-process artifact cache, so a component shared by many networks
+// — or by both sides of a query — is minimized exactly once.
+
+// componentQuotient returns the relation-appropriate cached quotient of p.
+func (c *Checker) componentQuotient(p *fsp.FSP, rel Relation) (*fsp.FSP, error) {
+	switch rel {
+	case Strong, Simulation:
+		return c.StrongQuotient(p)
+	case Weak, Trace, Failure, Congruence, K, Limited:
+		return c.CongruenceQuotient(p)
+	default:
+		return nil, fmt.Errorf("engine: unknown relation %d", rel)
+	}
+}
+
+// MinimizeNetwork returns a copy of net in which every component process
+// is replaced by its cached quotient, sound for deciding rel on the
+// composed system (see the file comment). Relabelings and the hidden set
+// are preserved; the input network is not modified.
+func (c *Checker) MinimizeNetwork(net *compose.Network, rel Relation) (*compose.Network, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	out := &compose.Network{
+		Name:       net.Name,
+		Components: make([]compose.Component, len(net.Components)),
+		Hidden:     append([]string(nil), net.Hidden...),
+	}
+	for i, comp := range net.Components {
+		min, err := c.componentQuotient(comp.P, rel)
+		if err != nil {
+			return nil, fmt.Errorf("engine: minimizing component %d: %w", i, err)
+		}
+		out.Components[i] = compose.Component{P: min, Relabel: comp.Relabel}
+	}
+	return out, nil
+}
+
+// ComposeNetwork materializes net by minimize-then-compose: each component
+// is quotiented through the artifact cache and the product of the minima
+// is returned. For rel-agnostic callers, Congruence is the safe default
+// for every weak-family relation.
+func (c *Checker) ComposeNetwork(net *compose.Network, rel Relation) (*fsp.FSP, error) {
+	min, err := c.MinimizeNetwork(net, rel)
+	if err != nil {
+		return nil, err
+	}
+	return min.FSP()
+}
+
+// CheckNetwork decides whether the composed network is related to spec by
+// rel, composing minimized components (k is the bound for the approximant
+// relations, as in Query). The composed product enters the artifact cache
+// like any process — its structural fingerprint makes repeated checks of
+// the same network cheap even though each composition yields a fresh
+// pointer. Like Check, CheckNetwork never panics on malformed inputs.
+func (c *Checker) CheckNetwork(ctx context.Context, net *compose.Network, spec *fsp.FSP, rel Relation, k int) (eq bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			eq, err = false, fmt.Errorf("engine: %s network query panicked: %v", rel, r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	composed, err := c.ComposeNetwork(net, rel)
+	if err != nil {
+		return false, err
+	}
+	return c.Check(ctx, Query{P: composed, Q: spec, Rel: rel, K: k})
+}

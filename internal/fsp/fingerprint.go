@@ -1,0 +1,123 @@
+package fsp
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// This file defines structural identity of FSPs: two processes are
+// structurally equal when they have the same states, the same start, and
+// state for state the same named arcs and extension variables — regardless
+// of how their alphabets or variable tables happened to intern those names.
+// The engine's artifact cache uses Fingerprint as a hash key and
+// StructuralEqual to confirm, so parsing the same process text twice (two
+// distinct *FSP pointers) still shares one set of cached artifacts.
+
+// namedArc is an arc with its action resolved to a name, the
+// interning-order-independent form both functions canonicalize through.
+type namedArc struct {
+	name string
+	to   State
+}
+
+// namedArcs returns s's arcs as (action name, target) pairs sorted by
+// (name, target). The per-state arc order of an FSP is (Action id, To),
+// and ids depend on interning order, so the name sort is what makes two
+// independently built copies comparable.
+func namedArcs(f *FSP, s State, buf []namedArc) []namedArc {
+	buf = buf[:0]
+	for _, a := range f.adj[s] {
+		buf = append(buf, namedArc{name: f.alphabet.Name(a.Act), to: a.To})
+	}
+	sort.Slice(buf, func(i, j int) bool {
+		if buf[i].name != buf[j].name {
+			return buf[i].name < buf[j].name
+		}
+		return buf[i].to < buf[j].to
+	})
+	return buf
+}
+
+// extNames returns the extension variable names of s, sorted.
+func extNames(f *FSP, s State, buf []string) []string {
+	buf = buf[:0]
+	for _, id := range f.ext[s].IDs() {
+		buf = append(buf, f.vars.Name(id))
+	}
+	sort.Strings(buf)
+	return buf
+}
+
+// Fingerprint returns a structural hash of f: equal for structurally equal
+// processes (see StructuralEqual), and invariant under the interning order
+// of the alphabet and variable table. The process name is deliberately not
+// hashed — renaming a process does not change what it is.
+func Fingerprint(f *FSP) uint64 {
+	h := fnv.New64a()
+	var word [8]byte
+	writeInt := func(v int) {
+		word[0], word[1], word[2], word[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		word[4], word[5], word[6], word[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+		h.Write(word[:])
+	}
+	writeInt(f.NumStates())
+	writeInt(int(f.start))
+	var arcs []namedArc
+	var exts []string
+	for s := 0; s < f.NumStates(); s++ {
+		arcs = namedArcs(f, State(s), arcs)
+		writeInt(len(arcs))
+		for _, a := range arcs {
+			h.Write([]byte(a.name))
+			h.Write([]byte{0})
+			writeInt(int(a.to))
+		}
+		exts = extNames(f, State(s), exts)
+		writeInt(len(exts))
+		for _, nm := range exts {
+			h.Write([]byte(nm))
+			h.Write([]byte{0})
+		}
+	}
+	return h.Sum64()
+}
+
+// StructuralEqual reports whether f and g are the same process up to
+// interning order: same state count, same start state, and for every state
+// the same set of (action name, target) arcs and the same extension
+// variable names. Structurally equal processes are indistinguishable to
+// every equivalence checker in this repository, so derived artifacts
+// (closures, saturations, quotients, indexes) are interchangeable.
+func StructuralEqual(f, g *FSP) bool {
+	if f == g {
+		return true
+	}
+	if f.NumStates() != g.NumStates() || f.start != g.start {
+		return false
+	}
+	var fa, ga []namedArc
+	var fe, ge []string
+	for s := 0; s < f.NumStates(); s++ {
+		fa = namedArcs(f, State(s), fa)
+		ga = namedArcs(g, State(s), ga)
+		if len(fa) != len(ga) {
+			return false
+		}
+		for i := range fa {
+			if fa[i] != ga[i] {
+				return false
+			}
+		}
+		fe = extNames(f, State(s), fe)
+		ge = extNames(g, State(s), ge)
+		if len(fe) != len(ge) {
+			return false
+		}
+		for i := range fe {
+			if fe[i] != ge[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

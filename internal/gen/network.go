@@ -1,0 +1,187 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccs/internal/compose"
+	"ccs/internal/fsp"
+)
+
+// This file generates networks of communicating processes for the
+// compositional pipeline (internal/compose, engine.CheckNetwork) and the
+// E17 benchmark: relay pipelines whose flat product is exponential in the
+// stage count while every component minimizes to two states, plus a lossy
+// variant as a negative control and a seeded random-network generator for
+// differential testing.
+
+// BufferCell returns the generic one-place relay cell: it accepts a
+// message on "in", churns through the given number of internal tau steps
+// (a retransmission loop unwound), and hands the message on by emitting
+// the co-action "out'". Every state is accepting (the r.o.u. convention),
+// so extensions play no role in the product. Modulo ≈ the cell is the
+// two-state buffer in·out'·(repeat): the whole churn chain collapses,
+// which is exactly what makes minimize-then-compose collapse the product.
+func BufferCell(churn int) *fsp.FSP {
+	b := fsp.NewBuilder(fmt.Sprintf("cell-%d", churn))
+	n := churn + 2
+	b.AddStates(n)
+	b.ArcName(0, "in", 1)
+	for i := 1; i <= churn; i++ {
+		b.ArcName(fsp.State(i), fsp.TauName, fsp.State(i+1))
+	}
+	b.ArcName(fsp.State(n-1), "out'", 0)
+	for s := 0; s < n; s++ {
+		b.Accept(fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
+// LossyCell is BufferCell with a defect: from its first churn state the
+// message can silently be dropped (tau back to empty). A pipeline with a
+// lossy stage is not observationally equivalent to any reliable buffer —
+// after an "in" it can reach a state that refuses "out" forever.
+func LossyCell(churn int) *fsp.FSP {
+	b := fsp.NewBuilder(fmt.Sprintf("lossy-%d", churn))
+	n := churn + 2
+	b.AddStates(n)
+	b.ArcName(0, "in", 1)
+	b.ArcName(1, fsp.TauName, 0) // drop
+	for i := 1; i <= churn; i++ {
+		b.ArcName(fsp.State(i), fsp.TauName, fsp.State(i+1))
+	}
+	b.ArcName(fsp.State(n-1), "out'", 0)
+	for s := 0; s < n; s++ {
+		b.Accept(fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
+// relayNetworkOf chains the given cells into a pipeline: cell i is
+// relabeled to read from channel c<i-1> and write to c<i>, the internal
+// channels are hidden, and the ends stay visible as "c0" (input) and
+// "c<n>'" (output).
+func relayNetworkOf(name string, cells []*fsp.FSP) *compose.Network {
+	n := len(cells)
+	net := &compose.Network{Name: name}
+	for i, cell := range cells {
+		net.Add(cell, map[string]string{
+			"in":  fmt.Sprintf("c%d", i),
+			"out": fmt.Sprintf("c%d", i+1),
+		})
+	}
+	for i := 1; i < n; i++ {
+		net.Hide(fmt.Sprintf("c%d", i))
+	}
+	return net
+}
+
+// RelayNetwork returns the n-stage relay pipeline over BufferCell(churn):
+//
+//	(Cell[c0/in, c1/out] | Cell[c1/in, c2/out] | ... ) \ {c1..c<n-1>}
+//
+// Its flat product has up to (churn+2)^n reachable states; the ≈ᶜ-minimized
+// components compose to at most 2^n, and the whole thing is
+// observationally equivalent to CounterSpec(n) — the classic law that a
+// chain of n one-place buffers is an n-place buffer.
+func RelayNetwork(n, churn int) *compose.Network {
+	cell := BufferCell(churn)
+	cells := make([]*fsp.FSP, n)
+	for i := range cells {
+		cells[i] = cell // self-composition: one shared component instance
+	}
+	return relayNetworkOf(fmt.Sprintf("relay-%d-%d", n, churn), cells)
+}
+
+// LossyRelayNetwork is RelayNetwork with the middle stage replaced by a
+// LossyCell: the negative control. It is NOT ≈ CounterSpec(n).
+func LossyRelayNetwork(n, churn int) *compose.Network {
+	cell, lossy := BufferCell(churn), LossyCell(churn)
+	cells := make([]*fsp.FSP, n)
+	for i := range cells {
+		cells[i] = cell
+	}
+	cells[n/2] = lossy
+	return relayNetworkOf(fmt.Sprintf("lossy-relay-%d-%d", n, churn), cells)
+}
+
+// CounterSpec returns the n-place buffer specification of RelayNetwork(n):
+// a counter over states 0..n accepting "c0" while below capacity and
+// emitting "c<n>'" while nonempty. All states accept.
+func CounterSpec(n int) *fsp.FSP {
+	b := fsp.NewBuilder(fmt.Sprintf("counter-%d", n))
+	b.AddStates(n + 1)
+	in := "c0"
+	out := fmt.Sprintf("c%d'", n)
+	for kk := 0; kk < n; kk++ {
+		b.ArcName(fsp.State(kk), in, fsp.State(kk+1))
+	}
+	for kk := 1; kk <= n; kk++ {
+		b.ArcName(fsp.State(kk), out, fsp.State(kk-1))
+	}
+	for s := 0; s <= n; s++ {
+		b.Accept(fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
+// NetworkGalleryEntry is one exhibit of the network gallery: a process
+// network, its specification, and the expected ≈ verdict.
+type NetworkGalleryEntry struct {
+	Name        string
+	Net         *compose.Network
+	Spec        *fsp.FSP
+	Weak        bool
+	Description string
+}
+
+// NetworkGallery returns the generated network exhibits used by the
+// examples and smoke tests: relay pipelines at growing sizes (positive)
+// and a lossy pipeline (negative).
+func NetworkGallery() []NetworkGalleryEntry {
+	var out []NetworkGalleryEntry
+	for _, n := range []int{2, 3, 4} {
+		out = append(out, NetworkGalleryEntry{
+			Name:        fmt.Sprintf("relay-%d", n),
+			Net:         RelayNetwork(n, 2),
+			Spec:        CounterSpec(n),
+			Weak:        true,
+			Description: fmt.Sprintf("%d chained 1-place buffers ≈ a %d-place buffer", n, n),
+		})
+	}
+	out = append(out, NetworkGalleryEntry{
+		Name:        "lossy-relay-3",
+		Net:         LossyRelayNetwork(3, 2),
+		Spec:        CounterSpec(3),
+		Weak:        false,
+		Description: "a dropping middle stage breaks the buffer law",
+	})
+	return out
+}
+
+// RandomNetwork returns a seeded random network for differential testing:
+// 2-3 random components over a small alphabet with tau moves, where later
+// components may be relabeled to expose co-actions of the first (creating
+// handshakes) and a random channel may be hidden. Exercises interleaving,
+// synchronization, restriction and relabeling in one instance.
+func RandomNetwork(rng *rand.Rand) *compose.Network {
+	k := 2 + rng.Intn(2)
+	net := &compose.Network{Name: fmt.Sprintf("randnet-%d", k)}
+	for i := 0; i < k; i++ {
+		comp := Random(rng, 2+rng.Intn(5), 3+rng.Intn(8), 3, 0.25)
+		var relabel map[string]string
+		if i > 0 && rng.Intn(2) == 0 {
+			// Flip one action to a co-action of the first component's
+			// alphabet so the pair can synchronize.
+			relabel = map[string]string{"b": "a'"}
+		}
+		net.Add(comp, relabel)
+	}
+	if rng.Intn(2) == 0 {
+		net.Hide("a")
+	}
+	if rng.Intn(4) == 0 {
+		net.Hide("c")
+	}
+	return net
+}

@@ -1,0 +1,63 @@
+package gen
+
+import (
+	"context"
+	"testing"
+
+	"ccs/internal/core"
+	"ccs/internal/engine"
+)
+
+// TestBufferLaw is the gallery's headline property, checked both flat and
+// through the engine pipeline: n chained one-place buffers are
+// observationally equivalent to the n-place counter, and the lossy variant
+// is not.
+func TestBufferLaw(t *testing.T) {
+	for _, entry := range NetworkGallery() {
+		flat, err := entry.Net.FSP()
+		if err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		got, err := core.WeakEquivalent(flat, entry.Spec)
+		if err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		if got != entry.Weak {
+			t.Errorf("%s (flat): ≈ = %v, want %v — %s", entry.Name, got, entry.Weak, entry.Description)
+		}
+		eng, err := engine.New().CheckNetwork(context.Background(), entry.Net, entry.Spec, engine.Weak, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		if eng != entry.Weak {
+			t.Errorf("%s (engine MTC): ≈ = %v, want %v", entry.Name, eng, entry.Weak)
+		}
+	}
+}
+
+// TestRelayCollapse quantifies the point of minimize-then-compose on the
+// tau-rich relay family: the minimized product must be dramatically
+// smaller than the flat product (cells collapse to 2 states each).
+func TestRelayCollapse(t *testing.T) {
+	net := RelayNetwork(4, 3)
+	flat, err := net.FSP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := engine.New().ComposeNetwork(net, engine.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates()*4 > flat.NumStates() {
+		t.Errorf("minimized product %d states vs flat %d: expected >= 4x collapse",
+			min.NumStates(), flat.NumStates())
+	}
+	cell := BufferCell(3)
+	cellMin, _, err := core.QuotientWeak(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cellMin.NumStates() != 2 {
+		t.Errorf("BufferCell(3)/≈ has %d states, want 2", cellMin.NumStates())
+	}
+}

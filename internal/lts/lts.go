@@ -330,6 +330,17 @@ func NewNamedBuilder(n int, names []string) *Builder {
 	return &Builder{n: n, numLabels: len(names), labels: labels}
 }
 
+// EnsureStates raises the builder's state count to at least n. On-the-fly
+// product constructions (the compose package's network explorer) intern
+// states as they are discovered and cannot know the final count up front;
+// they grow the space with EnsureStates before adding edges that mention a
+// fresh state, keeping Add's range check meaningful throughout.
+func (b *Builder) EnsureStates(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
 // Add records the edge (from, label, to). Out-of-range states or labels
 // panic: they indicate a construction bug, exactly like an out-of-range
 // slice index in the caller would.

@@ -1,0 +1,67 @@
+package ccs
+
+import (
+	"context"
+
+	"ccs/internal/compose"
+	"ccs/internal/engine"
+)
+
+// Network describes a network of communicating processes: the CCS parallel
+// composition of its components, each optionally relabeled, with the
+// Hidden channels restricted afterwards — (C1[f1] | ... | Ck[fk]) \ Hidden.
+// Build one with NewNetwork and the Add/Hide methods; materialize the
+// composed process with its FSP method or, preferably, check it through
+// Checker.CheckNetwork, which minimizes each component before composing
+// (see internal/compose and internal/engine for the machinery and the
+// soundness argument).
+type Network = compose.Network
+
+// NetworkComponent is one process instance inside a Network with its
+// optional relabeling.
+type NetworkComponent = compose.Component
+
+// NewNetwork returns a network over the given components with no
+// relabeling and nothing hidden; extend it with Add and Hide.
+func NewNetwork(name string, components ...*Process) *Network {
+	return compose.New(name, components...)
+}
+
+// ComposeNetwork materializes the flat product of the network — every
+// reachable composed state, with no component minimization. On tau-rich
+// components this is exponentially larger than the minimize-then-compose
+// route; prefer MinimizeNetwork or Checker.CheckNetwork for anything big.
+func ComposeNetwork(net *Network) (*Process, error) { return net.FSP() }
+
+// MinimizeNetwork returns the minimize-then-compose product of the
+// network: every component is quotiented by observation congruence ≈ᶜ (a
+// full CCS congruence, so the substitution is sound in any network
+// context) and the product of the minima is composed. The result is
+// observation-congruent — hence observationally equivalent — to the flat
+// product.
+func MinimizeNetwork(net *Network) (*Process, error) {
+	// Delegate to a single-use engine checker: its artifact cache
+	// quotients each structurally distinct component exactly once, so a
+	// network instantiating one cell many times minimizes it once.
+	return NewChecker().e.ComposeNetwork(net, engine.Congruence)
+}
+
+// CheckNetwork decides whether the composed network is related to spec by
+// rel through a Checker's minimize-then-compose pipeline: each component
+// is replaced by its cached quotient before the product is taken, so
+// repeated checks — and networks sharing components — reuse the expensive
+// work. k is the bound for the approximant relations returned by
+// ParseRelation and is ignored otherwise.
+func (c *Checker) CheckNetwork(ctx context.Context, net *Network, spec *Process, rel Relation, k int) (bool, error) {
+	er, err := relationToEngine(rel)
+	if err != nil {
+		return false, err
+	}
+	return c.e.CheckNetwork(ctx, net, spec, er, k)
+}
+
+// CheckNetwork is the convenience form of Checker.CheckNetwork with a
+// fresh single-use checker.
+func CheckNetwork(ctx context.Context, net *Network, spec *Process, rel Relation, k int) (bool, error) {
+	return NewChecker().CheckNetwork(ctx, net, spec, rel, k)
+}

@@ -1,0 +1,100 @@
+package ccs_test
+
+import (
+	"context"
+	"testing"
+
+	"ccs"
+)
+
+func buildCell(t *testing.T) *ccs.Process {
+	t.Helper()
+	b := ccs.NewBuilder("cell")
+	b.AddStates(3)
+	b.ArcName(0, "in", 1)
+	b.ArcName(1, "tau", 2)
+	b.ArcName(2, "out'", 0)
+	for s := ccs.State(0); s < 3; s++ {
+		b.Accept(s)
+	}
+	return b.MustBuild()
+}
+
+func buildCounter(t *testing.T, n int) *ccs.Process {
+	t.Helper()
+	b := ccs.NewBuilder("counter")
+	b.AddStates(n + 1)
+	for k := 0; k < n; k++ {
+		b.ArcName(ccs.State(k), "c0", ccs.State(k+1))
+	}
+	for k := 1; k <= n; k++ {
+		b.ArcName(ccs.State(k), "c2'", ccs.State(k-1))
+	}
+	for s := 0; s <= n; s++ {
+		b.Accept(ccs.State(s))
+	}
+	return b.MustBuild()
+}
+
+// relayNet is the two-stage pipeline over the facade types.
+func relayNet(t *testing.T) *ccs.Network {
+	cell := buildCell(t)
+	net := ccs.NewNetwork("relay2")
+	net.Add(cell, map[string]string{"in": "c0", "out": "c1"})
+	net.Add(cell, map[string]string{"in": "c1", "out": "c2"})
+	net.Hide("c1")
+	return net
+}
+
+func TestFacadeNetwork(t *testing.T) {
+	net := relayNet(t)
+	spec := buildCounter(t, 2)
+	ctx := context.Background()
+
+	eq, err := ccs.CheckNetwork(ctx, net, spec, ccs.Weak, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("two chained cells not ≈ the 2-place buffer")
+	}
+
+	flat, err := ccs.ComposeNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := ccs.MinimizeNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() >= flat.NumStates() {
+		t.Errorf("minimized product %d states, flat %d: expected collapse", min.NumStates(), flat.NumStates())
+	}
+	same, err := ccs.ObservationCongruent(flat, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Error("minimize-then-compose not ≈ᶜ flat composition")
+	}
+
+	// The reusable checker path agrees and caches across calls.
+	checker := ccs.NewChecker()
+	for i := 0; i < 2; i++ {
+		eq, err := checker.CheckNetwork(ctx, net, spec, ccs.Weak, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("checker round %d: verdict flipped", i)
+		}
+	}
+
+	// Unknown relations and invalid networks surface as errors.
+	if _, err := ccs.CheckNetwork(ctx, net, spec, ccs.Relation(99), 0); err == nil {
+		t.Error("unknown relation produced no error")
+	}
+	if _, err := ccs.CheckNetwork(ctx, ccs.NewNetwork("empty"), spec, ccs.Weak, 0); err == nil {
+		t.Error("empty network produced no error")
+	}
+}
