@@ -4,7 +4,7 @@
 //
 //	ccs check  -rel strong|weak|trace|failure|kN|limitedN A B
 //	ccs batch  [-rel REL] [-workers N] LIST
-//	ccs network [-rel REL] [-flat] [-stats] FILE
+//	ccs network [-rel REL] [-flat|-otf] [-stats] FILE
 //	ccs expr   -rel ccs|language EXPR1 EXPR2
 //	ccs minimize -rel strong|weak A
 //	ccs explain [-weak] A B
@@ -15,9 +15,10 @@
 // A and B name process files in the textual interchange format, or inline
 // star expressions when prefixed with "expr:". Exit status: 0 when a check
 // reports "equivalent", 1 when "inequivalent", 2 on usage or input errors,
-// and 3 when a batch ran but some of its queries failed (the per-line
-// output distinguishes the errored queries from the checked-but-
-// inequivalent ones).
+// and 3 when a run got as far as checking but a query failed — some lines
+// of a batch (the per-line output distinguishes the errored queries from
+// the checked-but-inequivalent ones), or the single query of a network
+// check.
 package main
 
 import (
@@ -108,7 +109,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   ccs check    -rel strong|weak|trace|failure|congruence|simulation|kN|limitedN A B
   ccs batch    [-rel REL] [-workers N] [-timeout D] LIST   # concurrent pair list
-  ccs network  [-rel REL] [-flat] [-stats] FILE            # compositional check
+  ccs network  [-rel REL] [-flat|-otf] [-stats] FILE       # compositional check
   ccs spectrum A B
   ccs refines  SPEC IMPL
   ccs divergent A
@@ -129,7 +130,9 @@ queries failed to check.
 The network FILE describes a process network, one directive per line:
 "component A [in=c0 out=c1]" (repeatable, with optional old=new
 relabelings), "hide c1 c2 ...", "spec S", "rel weak"; components are
-minimized before composing unless -flat is given.
+minimized before composing unless -flat is given, and -otf skips the
+product entirely (lazy game against a deterministic spec). Network exit
+codes match batch: 0 equivalent, 1 not, 2 usage, 3 query error.
 HML formulas: tt, ff, <a>phi, [a]phi, !phi, phi&phi, phi|phi, ext(x);
 with -weak the process is saturated first and <eps> is available.
 `)

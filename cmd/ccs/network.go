@@ -13,8 +13,9 @@ import (
 )
 
 // cmdNetwork checks a network of communicating processes against a
-// specification through the compositional minimize-then-compose pipeline.
-// The network FILE has one directive per line:
+// specification through the compositional minimize-then-compose pipeline,
+// or — with -otf — through the on-the-fly game that never materializes
+// the product. The network FILE has one directive per line:
 //
 //	component A [old=new ...]   # add an instance of process file A,
 //	                            # optionally relabeling its actions
@@ -27,16 +28,24 @@ import (
 // process is printed in the interchange format instead of checked.
 // -flat skips component minimization; -stats additionally materializes
 // the flat product's refinement index to report its exact size.
+//
+// Exit codes align with ccs batch: 0 equivalent, 1 inequivalent, 2 usage
+// or input error, 3 when the query itself failed to check (e.g. a
+// relation's side conditions were violated by the composed product).
 func cmdNetwork(args []string) (*bool, error) {
 	fs := flag.NewFlagSet("network", flag.ContinueOnError)
 	relFlag := fs.String("rel", "", "relation (default: the file's rel directive, else weak)")
 	flat := fs.Bool("flat", false, "compose the flat product (skip component minimization)")
+	otfFlag := fs.Bool("otf", false, "check on the fly (lazy product-vs-spec game; falls back when the spec is ineligible)")
 	stats := fs.Bool("stats", false, "report flat product size via the CSR index")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if fs.NArg() != 1 {
 		return nil, fmt.Errorf("network wants one description file argument (or - for stdin)")
+	}
+	if *flat && *otfFlag {
+		return nil, fmt.Errorf("-flat and -otf are mutually exclusive")
 	}
 	var in io.Reader = os.Stdin
 	if fs.Arg(0) != "-" {
@@ -66,16 +75,21 @@ func cmdNetwork(args []string) (*bool, error) {
 	if *stats {
 		idx, _, err := net.Index()
 		if err != nil {
-			return nil, err
+			return nil, queryErr(err)
 		}
 		fmt.Fprintf(os.Stderr, "flat product: %d states, %d transitions\n", idx.N(), idx.NumEdges())
 	}
 
 	if spec == nil {
-		// No spec: emit the composed process itself.
+		// No spec: emit the composed process itself. That necessarily
+		// materializes the product, which is exactly what -otf promises
+		// not to do — reject the combination instead of ignoring the flag.
+		if *otfFlag {
+			return nil, fmt.Errorf("-otf checks against a spec and never composes; the description has no spec directive")
+		}
 		composed, err := composeFor(net, *flat)
 		if err != nil {
-			return nil, err
+			return nil, queryErr(err)
 		}
 		fmt.Fprintf(os.Stderr, "composed: %d states, %d transitions (%s)\n",
 			composed.NumStates(), composed.NumTransitions(), routeName(*flat))
@@ -84,27 +98,50 @@ func cmdNetwork(args []string) (*bool, error) {
 	}
 
 	var eq bool
-	if *flat {
+	route := routeName(*flat)
+	switch {
+	case *flat:
 		composed, err := net.FSP()
 		if err != nil {
-			return nil, err
+			return nil, queryErr(err)
 		}
 		eq, err = ccs.Equivalent(composed, spec, rel, k)
 		if err != nil {
-			return nil, err
+			return nil, queryErr(err)
 		}
-	} else {
+	case *otfFlag:
+		var info ccs.NetworkOTFInfo
+		eq, info, err = ccs.NewChecker().CheckNetworkOTFInfo(context.Background(), net, spec, rel, k)
+		if err != nil {
+			return nil, queryErr(err)
+		}
+		// Report the route actually taken: the engine falls back to
+		// minimize-then-compose when the game cannot cover the query.
+		if info.OnTheFly {
+			route = "on-the-fly"
+		} else {
+			fmt.Fprintf(os.Stderr, "on-the-fly ineligible, used minimize-then-compose: %s\n", info.Fallback)
+		}
+	default:
 		eq, err = ccs.CheckNetwork(context.Background(), net, spec, rel, k)
 		if err != nil {
-			return nil, err
+			return nil, queryErr(err)
 		}
 	}
 	if eq {
-		fmt.Printf("network equivalent to spec (%s, %s)\n", relName, routeName(*flat))
+		fmt.Printf("network equivalent to spec (%s, %s)\n", relName, route)
 	} else {
-		fmt.Printf("network NOT equivalent to spec (%s, %s)\n", relName, routeName(*flat))
+		fmt.Printf("network NOT equivalent to spec (%s, %s)\n", relName, route)
 	}
 	return &eq, nil
+}
+
+// queryErr marks an error that occurred while answering a well-formed
+// query, aligning the network exit codes with ccs batch: the run got as
+// far as checking, so the failure exits 3, distinguishable both from a
+// usage/input error (2) and from an inequivalent verdict (1).
+func queryErr(err error) error {
+	return &exitError{code: 3, err: err}
 }
 
 func routeName(flat bool) string {

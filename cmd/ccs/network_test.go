@@ -93,6 +93,68 @@ func TestNetworkWithoutSpecPrintsProcess(t *testing.T) {
 	}
 }
 
+func TestNetworkOTF(t *testing.T) {
+	cell := writeFixture(t, "cell.fsp", relayCell)
+	spec := writeFixture(t, "counter.fsp", counterTwo)
+	net := relayNetFile(t, cell, spec)
+	if got := run([]string{"network", "-otf", net}); got != 0 {
+		t.Errorf("relay network vs counter (on-the-fly) = %d, want 0", got)
+	}
+	// The wrong spec is rejected on the fly too.
+	one := writeFixture(t, "one.fsp", strings.Replace(counterTwo,
+		"arc 1 c0 2", "arc 1 tau 1", 1))
+	if got := run([]string{"network", "-otf", relayNetFile(t, cell, one)}); got != 1 {
+		t.Errorf("relay network vs wrong spec (on-the-fly) = %d, want 1", got)
+	}
+	// An ineligible relation silently falls back to minimize-then-compose
+	// with the same verdict.
+	if got := run([]string{"network", "-otf", "-rel", "trace", net}); got != 0 {
+		t.Errorf("on-the-fly with trace relation (fallback) = %d, want 0", got)
+	}
+	// -flat and -otf contradict each other: usage error.
+	if got := run([]string{"network", "-flat", "-otf", net}); got != 2 {
+		t.Errorf("-flat -otf = %d, want 2", got)
+	}
+	// -otf without a spec directive would have to materialize the very
+	// product the flag promises to avoid: usage error, not a silent
+	// fallback.
+	if got := run([]string{"network", "-otf", relayNetFile(t, cell, "")}); got != 2 {
+		t.Errorf("-otf without spec = %d, want 2", got)
+	}
+}
+
+// TestNetworkExitCodes pins the batch-aligned contract: 0 equivalent,
+// 1 inequivalent, 2 usage/input error, 3 the query itself failed.
+func TestNetworkExitCodes(t *testing.T) {
+	cell := writeFixture(t, "cell.fsp", relayCell)
+	spec := writeFixture(t, "counter.fsp", counterTwo)
+	net := relayNetFile(t, cell, spec)
+	if got := run([]string{"network", net}); got != 0 {
+		t.Errorf("equivalent network = %d, want 0", got)
+	}
+	bad := relayNetFile(t, cell, writeFixture(t, "one.fsp",
+		strings.Replace(counterTwo, "arc 1 c0 2", "arc 1 tau 1", 1)))
+	if got := run([]string{"network", bad}); got != 1 {
+		t.Errorf("inequivalent network = %d, want 1", got)
+	}
+	if got := run([]string{"network", "/nonexistent/net.txt"}); got != 2 {
+		t.Errorf("missing network file = %d, want 2", got)
+	}
+	// Failure equivalence demands restricted processes (every state
+	// accepting), but this component has a non-accepting state: the
+	// network parses fine, the query runs and fails — exit 3,
+	// distinguishable from both the usage error and the inequivalent
+	// verdict. The same contract holds on the on-the-fly route.
+	partial := writeFixture(t, "partial.fsp", "fsp partial\nstates 2\nstart 0\next 0 x\narc 0 a 1\narc 1 a 0\n")
+	partialNet := writeFixture(t, "pnet.txt", "component "+partial+"\nspec "+partial+"\n")
+	if got := run([]string{"network", "-rel", "failure", partialNet}); got != 3 {
+		t.Errorf("failure relation on an unrestricted product = %d, want 3", got)
+	}
+	if got := run([]string{"network", "-otf", "-rel", "failure", partialNet}); got != 3 {
+		t.Errorf("failure relation on an unrestricted product (-otf) = %d, want 3", got)
+	}
+}
+
 func TestNetworkBadInput(t *testing.T) {
 	cell := writeFixture(t, "cell.fsp", relayCell)
 	cases := map[string]string{

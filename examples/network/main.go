@@ -72,17 +72,55 @@ func run() error {
 	}
 	fmt.Printf("\nlossy pipeline ≈ %d-place buffer: %v — a dropped message refuses output forever\n", stages, bad)
 
+	// On-the-fly: the token ring's flat product is exponential in the
+	// station count (idle stations churn independent tau loops), but the
+	// lazy product-vs-spec game never builds it — and on the buggy ring,
+	// where one station can drop the token, it stops at the first
+	// distinguishing state after a handful of pairs.
+	const stations = 8
+	ring := gen.TokenRing(stations)
+	ringSpec := gen.TokenRingSpec()
+	ok, err := checker.CheckNetworkOTF(ctx, ring, ringSpec, ccs.Weak, 0)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("token ring rejected")
+	}
+	fmt.Printf("\n%d-station token ring ≈ an endless work stream: %v (checked on the fly)\n", stations, ok)
+	buggy := gen.BuggyTokenRing(stations)
+	flatIdx, _, err := buggy.Index()
+	if err != nil {
+		return err
+	}
+	bad, err = checker.CheckNetworkOTF(ctx, buggy, ringSpec, ccs.Weak, 0)
+	if err != nil {
+		return err
+	}
+	if bad {
+		return fmt.Errorf("buggy token ring accepted")
+	}
+	fmt.Printf("buggy token ring ≈ work stream: %v — the game found the dropped token\n", bad)
+	fmt.Printf("  (flat product: %d states; the on-the-fly check never built it)\n", flatIdx.N())
+
 	fmt.Println("\ngenerated network gallery:")
 	for _, entry := range gen.NetworkGallery() {
 		got, err := checker.CheckNetwork(ctx, entry.Net, entry.Spec, ccs.Weak, 0)
 		if err != nil {
 			return err
 		}
+		otf, err := checker.CheckNetworkOTF(ctx, entry.Net, entry.Spec, ccs.Weak, 0)
+		if err != nil {
+			return err
+		}
+		if got != otf {
+			return fmt.Errorf("%s: routes disagree: mtc=%v otf=%v", entry.Name, got, otf)
+		}
 		verdict := "≈"
 		if !got {
 			verdict = "≉"
 		}
-		fmt.Printf("  %-14s %s spec  (%s)\n", entry.Name, verdict, entry.Description)
+		fmt.Printf("  %-20s %s spec  (%s)\n", entry.Name, verdict, entry.Description)
 	}
 	return nil
 }

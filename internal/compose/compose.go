@@ -136,51 +136,60 @@ type productSink interface {
 	addArc(from, label, to int32)
 }
 
-// parc is a component transition translated into the network's dense label
-// space; label 0 is tau.
-type parc struct {
-	label int32
-	to    int32
+// Step is a component transition translated into the network's dense label
+// space; Label 0 is tau.
+type Step struct {
+	Label int32
+	To    int32
 }
 
-// explorer holds the precomputed per-component views and the network-level
-// label tables the product walk runs on.
-type explorer struct {
-	labels []string     // dense label names; labels[0] == "tau"
-	coOf   []int32      // coOf[l] = dense id of the co-name of l, or -1
-	hidden []bool       // hidden[l]: l's interleavings are restricted
-	trans  [][][]parc   // trans[i][s], sorted by (label, to)
-	exts   [][][]string // exts[i][s]: extension variable names
-	starts []int32
+// Expansion is the dense-label translated view of a network: every
+// component's transitions with relabelings applied and actions interned
+// into one shared label space, plus the co-name and hidden tables the
+// product semantics needs. It is the substrate both of the materializing
+// explorer (run) and of the on-the-fly checker in internal/otf, which
+// draws successor tuples from it without ever building the product.
+// An Expansion is immutable after construction and safe for concurrent
+// readers.
+type Expansion struct {
+	Labels []string     // dense label names; Labels[0] == "tau"
+	CoOf   []int32      // CoOf[l] = dense id of the co-name of l, or -1
+	Hidden []bool       // Hidden[l]: l's interleavings are restricted
+	Trans  [][][]Step   // Trans[i][s], sorted by (Label, To)
+	Exts   [][][]string // Exts[i][s]: extension variable names
+	Starts []int32
 }
 
-// newExplorer translates every component into the shared dense label space:
+// K returns the number of components.
+func (e *Expansion) K() int { return len(e.Trans) }
+
+// Expand translates every component into the shared dense label space:
 // relabelings are applied by name (with co-name transport), the hidden set
 // is marked on names and co-names, and per-state arcs are re-sorted by the
 // dense label so handshake partners are found by binary search.
-func (n *Network) newExplorer() (*explorer, error) {
+func (n *Network) Expand() (*Expansion, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
-	e := &explorer{labels: []string{fsp.TauName}}
+	e := &Expansion{Labels: []string{fsp.TauName}}
 	ids := map[string]int32{fsp.TauName: 0}
 	intern := func(name string) int32 {
 		if id, ok := ids[name]; ok {
 			return id
 		}
-		id := int32(len(e.labels))
-		e.labels = append(e.labels, name)
+		id := int32(len(e.Labels))
+		e.Labels = append(e.Labels, name)
 		ids[name] = id
 		return id
 	}
 
 	k := len(n.Components)
-	e.trans = make([][][]parc, k)
-	e.exts = make([][][]string, k)
-	e.starts = make([]int32, k)
+	e.Trans = make([][][]Step, k)
+	e.Exts = make([][][]string, k)
+	e.Starts = make([]int32, k)
 	for i, comp := range n.Components {
 		f := comp.P
-		e.starts[i] = int32(f.Start())
+		e.Starts[i] = int32(f.Start())
 		// Per-action dense label after relabeling. An explicit entry for a
 		// name wins; otherwise a base-name entry carries its co-name.
 		actLabel := make([]int32, f.Alphabet().Len())
@@ -198,72 +207,135 @@ func (n *Network) newExplorer() (*explorer, error) {
 			}
 			actLabel[a] = intern(name)
 		}
-		e.trans[i] = make([][]parc, f.NumStates())
-		e.exts[i] = make([][]string, f.NumStates())
+		e.Trans[i] = make([][]Step, f.NumStates())
+		e.Exts[i] = make([][]string, f.NumStates())
 		for s := 0; s < f.NumStates(); s++ {
 			arcs := f.Arcs(fsp.State(s))
-			ps := make([]parc, len(arcs))
+			ps := make([]Step, len(arcs))
 			for j, a := range arcs {
 				lbl := int32(0)
 				if a.Act != fsp.Tau {
 					lbl = actLabel[a.Act]
 				}
-				ps[j] = parc{label: lbl, to: int32(a.To)}
+				ps[j] = Step{Label: lbl, To: int32(a.To)}
 			}
 			sort.Slice(ps, func(x, y int) bool {
-				if ps[x].label != ps[y].label {
-					return ps[x].label < ps[y].label
+				if ps[x].Label != ps[y].Label {
+					return ps[x].Label < ps[y].Label
 				}
-				return ps[x].to < ps[y].to
+				return ps[x].To < ps[y].To
 			})
-			e.trans[i][s] = ps
+			e.Trans[i][s] = ps
 			if ext := f.Ext(fsp.State(s)); ext != fsp.EmptyVars {
 				var names []string
 				for _, id := range ext.IDs() {
 					names = append(names, f.Vars().Name(id))
 				}
-				e.exts[i][s] = names
+				e.Exts[i][s] = names
 			}
 		}
 	}
 
-	e.coOf = make([]int32, len(e.labels))
-	e.hidden = make([]bool, len(e.labels))
-	for l := 1; l < len(e.labels); l++ {
-		if co, ok := ids[fsp.CoName(e.labels[l])]; ok {
-			e.coOf[l] = co
+	e.CoOf = make([]int32, len(e.Labels))
+	e.Hidden = make([]bool, len(e.Labels))
+	for l := 1; l < len(e.Labels); l++ {
+		if co, ok := ids[fsp.CoName(e.Labels[l])]; ok {
+			e.CoOf[l] = co
 		} else {
-			e.coOf[l] = -1
+			e.CoOf[l] = -1
 		}
 	}
-	e.coOf[0] = -1
+	e.CoOf[0] = -1
 	for _, h := range n.Hidden {
 		if id, ok := ids[h]; ok {
-			e.hidden[id] = true
+			e.Hidden[id] = true
 		}
 		if id, ok := ids[fsp.CoName(h)]; ok {
-			e.hidden[id] = true
+			e.Hidden[id] = true
 		}
 	}
 	return e, nil
 }
 
 // span returns the run of arcs labelled l in the label-sorted slice ps.
-func span(ps []parc, l int32) []parc {
-	lo := sort.Search(len(ps), func(i int) bool { return ps[i].label >= l })
+func span(ps []Step, l int32) []Step {
+	lo := sort.Search(len(ps), func(i int) bool { return ps[i].Label >= l })
 	hi := lo
-	for hi < len(ps) && ps[hi].label == l {
+	for hi < len(ps) && ps[hi].Label == l {
 		hi++
 	}
 	return ps[lo:hi]
 }
 
-// run walks the reachable product, interning state vectors in discovery
-// order and emitting every product transition into the sink exactly as the
-// CCS semantics dictates: interleavings of unhidden actions, plus pairwise
-// complementary handshakes as tau. Restriction never removes a handshake.
-func (e *explorer) run(sink productSink) {
-	k := len(e.trans)
+// Succ enumerates the product successors of the state vector cur exactly
+// as the CCS semantics dictates: interleavings of unhidden actions (tau
+// always), plus pairwise complementary handshakes as tau. succ must be a
+// scratch slice of length K; emit receives the dense label and the
+// successor vector, which it must copy if retained (the slice is reused).
+// Returning false from emit aborts the enumeration; Succ reports whether
+// it ran to completion.
+func (e *Expansion) Succ(cur, succ []int32, emit func(label int32, succ []int32) bool) bool {
+	k := len(e.Trans)
+	for i := 0; i < k; i++ {
+		for _, a := range e.Trans[i][cur[i]] {
+			// Interleaving: tau always; observables unless hidden.
+			if a.Label == 0 || !e.Hidden[a.Label] {
+				copy(succ, cur)
+				succ[i] = a.To
+				if !emit(a.Label, succ) {
+					return false
+				}
+			}
+			// Handshake with a later component: a.Label in i, its co-label
+			// in j, jointly a tau. Scanning only j > i visits each
+			// unordered pair once (the co-label's own iteration at j would
+			// find the mirrored pair).
+			if a.Label == 0 {
+				continue
+			}
+			co := e.CoOf[a.Label]
+			if co < 0 {
+				continue
+			}
+			for j := i + 1; j < k; j++ {
+				for _, b := range span(e.Trans[j][cur[j]], co) {
+					copy(succ, cur)
+					succ[i] = a.To
+					succ[j] = b.To
+					if !emit(0, succ) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// AppendExtNames appends the extension of the product state cur — the
+// union of the component extensions by name, sorted and deduplicated — to
+// dst and returns the extended slice. seen is caller-provided scratch,
+// cleared on entry.
+func (e *Expansion) AppendExtNames(dst []string, cur []int32, seen map[string]bool) []string {
+	clear(seen)
+	base := len(dst)
+	for i, s := range cur {
+		for _, nm := range e.Exts[i][s] {
+			if !seen[nm] {
+				seen[nm] = true
+				dst = append(dst, nm)
+			}
+		}
+	}
+	sort.Strings(dst[base:])
+	return dst
+}
+
+// run walks the reachable product through Succ, interning state vectors in
+// discovery order and emitting every product transition into the sink.
+// Restriction never removes a handshake.
+func (e *Expansion) run(sink productSink) {
+	k := len(e.Trans)
 	ids := map[string]int32{}
 	var order []int32 // flat vectors, stride k
 	keyBuf := make([]byte, 4*k)
@@ -286,57 +358,20 @@ func (e *explorer) run(sink productSink) {
 		ids[kk] = id
 		order = append(order, v...)
 		// Extension: union of the component extensions by name.
-		clear(extScratch)
-		var names []string
-		for i, s := range v {
-			for _, nm := range e.exts[i][s] {
-				if !extScratch[nm] {
-					extScratch[nm] = true
-					names = append(names, nm)
-				}
-			}
-		}
-		sort.Strings(names)
-		sink.addState(names)
+		sink.addState(e.AppendExtNames(nil, v, extScratch))
 		return id
 	}
 
 	cur := make([]int32, k)
 	succ := make([]int32, k)
-	copy(cur, e.starts)
+	copy(cur, e.Starts)
 	intern(cur)
 	for head := int32(0); int(head)*k < len(order); head++ {
 		copy(cur, order[int(head)*k:int(head)*k+k])
-		for i := 0; i < k; i++ {
-			arcs := e.trans[i][cur[i]]
-			for _, a := range arcs {
-				// Interleaving: tau always; observables unless hidden.
-				if a.label == 0 || !e.hidden[a.label] {
-					copy(succ, cur)
-					succ[i] = a.to
-					sink.addArc(head, a.label, intern(succ))
-				}
-				// Handshake with a later component: a.label in i, its
-				// co-label in j, jointly a tau. Scanning only j > i visits
-				// each unordered pair once (the co-label's own iteration
-				// at j would find the mirrored pair).
-				if a.label == 0 {
-					continue
-				}
-				co := e.coOf[a.label]
-				if co < 0 {
-					continue
-				}
-				for j := i + 1; j < k; j++ {
-					for _, b := range span(e.trans[j][cur[j]], co) {
-						copy(succ, cur)
-						succ[i] = a.to
-						succ[j] = b.to
-						sink.addArc(head, 0, intern(succ))
-					}
-				}
-			}
-		}
+		e.Succ(cur, succ, func(label int32, s []int32) bool {
+			sink.addArc(head, label, intern(s))
+			return true
+		})
 	}
 }
 
@@ -362,7 +397,7 @@ func (s *fspSink) addArc(from, label, to int32) {
 // constructed. Use this form to feed the product into the quotient,
 // saturation and equivalence pipelines.
 func (n *Network) FSP() (*fsp.FSP, error) {
-	e, err := n.newExplorer()
+	e, err := n.Expand()
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +406,7 @@ func (n *Network) FSP() (*fsp.FSP, error) {
 		name = n.String()
 	}
 	b := fsp.NewBuilder(name)
-	for _, l := range e.labels[1:] {
+	for _, l := range e.Labels[1:] {
 		b.Action(l)
 	}
 	sink := &fspSink{b: b}
@@ -419,11 +454,11 @@ func (s *csrSink) addArc(from, label, to int32) { s.b.Add(from, label, to) }
 // product: the FSP form is never built. Labels are named, so the index
 // unions with FromFSP-built indexes of other processes.
 func (n *Network) Index() (*lts.Index, []int32, error) {
-	e, err := n.newExplorer()
+	e, err := n.Expand()
 	if err != nil {
 		return nil, nil, err
 	}
-	sink := &csrSink{b: lts.NewNamedBuilder(0, e.labels), sigs: map[string]int32{}}
+	sink := &csrSink{b: lts.NewNamedBuilder(0, e.Labels), sigs: map[string]int32{}}
 	e.run(sink)
 	return sink.b.Build(), sink.initial, nil
 }

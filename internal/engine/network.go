@@ -6,6 +6,7 @@ import (
 
 	"ccs/internal/compose"
 	"ccs/internal/fsp"
+	"ccs/internal/otf"
 )
 
 // This file is the engine's network-aware query layer: equivalence
@@ -93,4 +94,97 @@ func (c *Checker) CheckNetwork(ctx context.Context, net *compose.Network, spec *
 		return false, err
 	}
 	return c.Check(ctx, Query{P: composed, Q: spec, Rel: rel, K: k})
+}
+
+// OTFInfo reports how CheckNetworkOTF answered a query.
+type OTFInfo struct {
+	// OnTheFly is true when the lazy game decided the query; false when
+	// the engine fell back to minimize-then-compose.
+	OnTheFly bool
+	// Fallback is why the fall back was taken ("" when OnTheFly).
+	Fallback string
+	// Pairs and Depth are the game's exploration stats (OnTheFly only):
+	// distinct (product, spec) pairs interned and BFS levels walked.
+	Pairs int
+	Depth int
+	// Counterexample is the game's distinguishing trace on an
+	// inequivalent verdict (OnTheFly only).
+	Counterexample []string
+}
+
+// otfRelation maps an engine relation onto the on-the-fly game's, when
+// the game covers it.
+func otfRelation(rel Relation) (otf.Rel, bool) {
+	switch rel {
+	case Strong:
+		return otf.Strong, true
+	case Weak:
+		return otf.Weak, true
+	case Congruence:
+		return otf.Congruence, true
+	default:
+		return 0, false
+	}
+}
+
+// CheckNetworkOTF decides whether the composed network is related to spec
+// by rel without materializing the product: components and spec are
+// quotiented through the artifact cache exactly as in CheckNetwork, but
+// the product of the minima is then explored lazily against the spec by
+// the on-the-fly bisimulation game (internal/otf), which returns on the
+// first mismatch. Relations the game does not cover — everything but
+// Strong, Weak and Congruence — and specs that are not deterministic
+// (tau-free for the weak relations) fall back to the
+// minimize-then-compose pipeline, so CheckNetworkOTF always agrees with
+// CheckNetwork. Like CheckNetwork, it never panics on malformed inputs.
+func (c *Checker) CheckNetworkOTF(ctx context.Context, net *compose.Network, spec *fsp.FSP, rel Relation, k int) (bool, error) {
+	eq, _, err := c.CheckNetworkOTFInfo(ctx, net, spec, rel, k)
+	return eq, err
+}
+
+// CheckNetworkOTFInfo is CheckNetworkOTF with the route taken and the
+// game's exploration stats, for callers that report or assert on them
+// (the CLI, ccsbench E18, the early-exit tests).
+func (c *Checker) CheckNetworkOTFInfo(ctx context.Context, net *compose.Network, spec *fsp.FSP, rel Relation, k int) (eq bool, info OTFInfo, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			eq, err = false, fmt.Errorf("engine: %s network query panicked: %v", rel, r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return false, info, err
+	}
+	orel, covered := otfRelation(rel)
+	switch {
+	case spec == nil:
+		info.Fallback = "nil spec"
+	case !covered:
+		info.Fallback = fmt.Sprintf("relation %s not covered by the on-the-fly game", rel)
+	default:
+		minSpec, err := c.componentQuotient(spec, rel)
+		if err != nil {
+			return false, info, err
+		}
+		if elig := otf.Eligible(minSpec, orel); elig != nil {
+			info.Fallback = elig.Error()
+		} else {
+			minNet, err := c.MinimizeNetwork(net, rel)
+			if err != nil {
+				return false, info, err
+			}
+			res, err := otf.Check(ctx, minNet, minSpec, orel, otf.Options{})
+			if err != nil {
+				return false, info, err
+			}
+			info.OnTheFly = true
+			info.Pairs = res.Pairs
+			info.Depth = res.Depth
+			if res.Counterexample != nil {
+				info.Counterexample = res.Counterexample.Trace
+			}
+			return res.Equivalent, info, nil
+		}
+	}
+	eq, err = c.CheckNetwork(ctx, net, spec, rel, k)
+	return eq, info, err
 }

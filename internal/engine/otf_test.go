@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ccs/internal/fsp"
+	"ccs/internal/gen"
+)
+
+// TestCheckNetworkOTFAgainstCheckNetwork: the on-the-fly route (with its
+// internal fallback) must agree with minimize-then-compose on the random
+// network suite for every relation, whether or not the spec is eligible
+// for the game — and the game must actually run for a healthy share of
+// the eligible cases.
+func TestCheckNetworkOTFAgainstCheckNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ctx := context.Background()
+	rels := []Relation{Strong, Weak, Trace, Congruence, Simulation, K, Limited}
+	onTheFly := 0
+	for i := 0; i < 15; i++ {
+		net := gen.RandomNetwork(rng)
+		specs := []*fsp.FSP{
+			gen.Random(rng, 2+rng.Intn(4), 5, 3, 0.3),      // usually ineligible: exercises the fallback
+			gen.RandomDeterministic(rng, 2+rng.Intn(4), 2), // eligible: exercises the game
+		}
+		c := New()
+		for _, rel := range rels {
+			for _, spec := range specs {
+				want, err := c.CheckNetwork(ctx, net, spec, rel, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, info, err := c.CheckNetworkOTFInfo(ctx, net, spec, rel, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("net %d rel %v: OTF=%v (onTheFly=%v) MTC=%v", i, rel, got, info.OnTheFly, want)
+				}
+				if info.OnTheFly {
+					onTheFly++
+					if info.Fallback != "" {
+						t.Errorf("net %d rel %v: on-the-fly verdict carries fallback reason %q", i, rel, info.Fallback)
+					}
+				} else if info.Fallback == "" {
+					t.Errorf("net %d rel %v: fallback without a reason", i, rel)
+				}
+			}
+		}
+	}
+	if onTheFly < 20 {
+		t.Fatalf("the game decided only %d queries; the differential suite barely exercises it", onTheFly)
+	}
+}
+
+// TestCheckNetworkOTFGallery: every gallery exhibit has a deterministic
+// tau-free spec, so the game itself (no fallback) must reproduce the
+// expected verdicts.
+func TestCheckNetworkOTFGallery(t *testing.T) {
+	ctx := context.Background()
+	c := New()
+	for _, entry := range gen.NetworkGallery() {
+		got, info, err := c.CheckNetworkOTFInfo(ctx, entry.Net, entry.Spec, Weak, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		if !info.OnTheFly {
+			t.Errorf("%s: fell back (%s); gallery specs are eligible by construction", entry.Name, info.Fallback)
+		}
+		if got != entry.Weak {
+			t.Errorf("%s: OTF ≈ = %v, want %v", entry.Name, got, entry.Weak)
+		}
+		if !entry.Weak && len(info.Counterexample) == 0 && info.OnTheFly {
+			// The buggy exhibits need at least one action before the
+			// mismatch; an empty trace means the game blamed the root.
+			if entry.Name != "lossy-relay-3" {
+				t.Errorf("%s: inequivalent without a trace", entry.Name)
+			}
+		}
+	}
+}
+
+// TestCheckNetworkOTFEarlyExit is the tentpole acceptance property: the
+// buggy token ring is decided while visiting under 10%% of the flat
+// product's states. The flat product is exponential in the ring size (the
+// idle stations churn independently); the game, running on the cached
+// component quotients, prunes the churn and stops at the first drop.
+func TestCheckNetworkOTFEarlyExit(t *testing.T) {
+	const n = 8
+	net := gen.BuggyTokenRing(n)
+	idx, _, err := net.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatStates := idx.N()
+
+	c := New()
+	eq, info, err := c.CheckNetworkOTFInfo(context.Background(), net, gen.TokenRingSpec(), Weak, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("buggy token ring accepted")
+	}
+	if !info.OnTheFly {
+		t.Fatalf("fell back to minimize-then-compose: %s", info.Fallback)
+	}
+	if info.Pairs*10 >= flatStates {
+		t.Errorf("game visited %d pairs, flat product has %d states: want < 10%%", info.Pairs, flatStates)
+	}
+	if len(info.Counterexample) == 0 {
+		t.Error("no distinguishing trace for the buggy ring")
+	}
+	t.Logf("flat product %d states; game stopped after %d pairs (depth %d), trace %v",
+		flatStates, info.Pairs, info.Depth, info.Counterexample)
+}
+
+// TestCheckNetworkOTFConcurrent hammers one Checker with parallel OTF
+// queries over shared components, for the race detector: the artifact
+// cache and the game's sharded tables must tolerate concurrent use.
+func TestCheckNetworkOTFConcurrent(t *testing.T) {
+	c := New()
+	ctx := context.Background()
+	entries := gen.NetworkGallery()
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*len(entries))
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, entry := range entries {
+				got, err := c.CheckNetworkOTF(ctx, entry.Net, entry.Spec, Weak, 0)
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if got != entry.Weak {
+					t.Errorf("%s: concurrent OTF = %v, want %v", entry.Name, got, entry.Weak)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCheckNetworkOTFErrors mirrors TestCheckNetworkErrors for the OTF
+// entry point: malformed inputs error, never panic.
+func TestCheckNetworkOTFErrors(t *testing.T) {
+	c := New()
+	ctx := context.Background()
+	spec := gen.CounterSpec(2)
+	if _, err := c.CheckNetworkOTF(ctx, gen.RelayNetwork(2, 1), nil, Weak, 0); err == nil {
+		t.Error("nil spec produced no error")
+	}
+	if _, err := c.CheckNetworkOTF(ctx, gen.RelayNetwork(2, 1), spec, Relation(99), 0); err == nil {
+		t.Error("unknown relation produced no error")
+	}
+	bad := gen.RelayNetwork(2, 1)
+	bad.Components = nil
+	if _, err := c.CheckNetworkOTF(ctx, bad, spec, Weak, 0); err == nil {
+		t.Error("empty network produced no error")
+	}
+}

@@ -39,6 +39,71 @@ func TestDivergentIgnoresObservableCycles(t *testing.T) {
 	}
 }
 
+// TestDivergentEdgeCases pins the boundary behaviors: a tau self-loop at
+// the root, a tau-SCC reachable only through a visible action (reachable
+// states are not divergent just because a cycle is reachable — the path
+// to it must be all-tau), and degenerate processes.
+func TestDivergentEdgeCases(t *testing.T) {
+	t.Run("tau self-loop at root", func(t *testing.T) {
+		b := NewBuilder("")
+		b.AddStates(2)
+		b.ArcName(0, TauName, 0)
+		b.ArcName(0, "a", 1)
+		div := Divergent(b.MustBuild())
+		if !div[0] {
+			t.Error("root with a tau self-loop not divergent")
+		}
+		if div[1] {
+			t.Error("tau-free successor marked divergent")
+		}
+	})
+	t.Run("tau-SCC behind a visible action", func(t *testing.T) {
+		// 0 --a--> 1 <--tau--> 2: the cycle is reachable from 0, but only
+		// through an observable, so 0 itself cannot diverge.
+		b := NewBuilder("")
+		b.AddStates(3)
+		b.ArcName(0, "a", 1)
+		b.ArcName(1, TauName, 2)
+		b.ArcName(2, TauName, 1)
+		div := Divergent(b.MustBuild())
+		if div[0] {
+			t.Error("state before the visible action marked divergent")
+		}
+		if !div[1] || !div[2] {
+			t.Error("tau-SCC members not divergent")
+		}
+	})
+	t.Run("empty process", func(t *testing.T) {
+		// The zero-value FSP has no states; Divergent must return an
+		// empty verdict rather than fault.
+		if div := Divergent(&FSP{}); len(div) != 0 {
+			t.Errorf("empty process: %d verdicts, want 0", len(div))
+		}
+	})
+	t.Run("single state, no arcs", func(t *testing.T) {
+		b := NewBuilder("")
+		b.AddStates(1)
+		if div := Divergent(b.MustBuild()); div[0] {
+			t.Error("deadlocked state marked divergent")
+		}
+	})
+	t.Run("two-step tau chain into a cycle", func(t *testing.T) {
+		// 0 --tau--> 1 --tau--> 2 --tau--> 2: the whole chain diverges —
+		// divergence propagates backwards along tau, not just one step.
+		b := NewBuilder("")
+		b.AddStates(3)
+		b.ArcName(0, TauName, 1)
+		b.ArcName(1, TauName, 2)
+		b.ArcName(2, TauName, 2)
+		div := Divergent(b.MustBuild())
+		for s := 0; s < 3; s++ {
+			if !div[s] {
+				t.Errorf("state %d on the tau path to the cycle not divergent", s)
+			}
+		}
+	})
+}
+
 // TestDivergentAgainstBruteForce cross-validates the SCC-based
 // implementation with a path-exploration oracle on random processes.
 func TestDivergentAgainstBruteForce(t *testing.T) {

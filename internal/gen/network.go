@@ -125,6 +125,100 @@ func CounterSpec(n int) *fsp.FSP {
 	return b.MustBuild()
 }
 
+// tokenRingStation builds one station of the token ring. A station holds
+// the token (start at state 0: it can "work", then hand the token on by
+// emitting "send'") or idles (start at the churn-cycle base: it spins an
+// internal tau refresh loop of length churn and accepts the token on
+// "recv" only at the cycle base). The idle churn is what makes the flat
+// ring product exponential — n-1 stations churn independently — while
+// every station ≈ᶜ-minimizes to three states, so the minimized product
+// stays linear in n. The buggy variant can silently drop the token
+// instead of passing it (tau from the passing state back to idle),
+// deadlocking the whole ring.
+func tokenRingStation(name string, churn int, buggy, holder bool) *fsp.FSP {
+	b := fsp.NewBuilder(name)
+	n := 2 + churn // 0: work pending, 1: pass pending, 2..2+churn-1: idle cycle
+	b.AddStates(n)
+	b.ArcName(0, "work", 1)
+	b.ArcName(1, "send'", 2)
+	if buggy {
+		b.ArcName(1, fsp.TauName, 2) // drop the token instead of passing it
+	}
+	for i := 0; i < churn; i++ {
+		b.ArcName(fsp.State(2+i), fsp.TauName, fsp.State(2+(i+1)%churn))
+	}
+	b.ArcName(2, "recv", 0)
+	for s := 0; s < n; s++ {
+		b.Accept(fsp.State(s))
+	}
+	if !holder {
+		b.SetStart(2)
+	}
+	return b.MustBuild()
+}
+
+// tokenRingChurn is the idle refresh-loop length of the generated rings:
+// the flat product of TokenRing(n) has Θ(n · tokenRingChurn^(n-1))
+// reachable states.
+const tokenRingChurn = 3
+
+// tokenRing assembles the ring: station i receives the token on channel
+// t<i> and passes it on t<(i+1) mod n>, all token channels are hidden, and
+// only "work" stays visible. Station 0 starts holding the token; in the
+// buggy variant the station halfway around the ring may drop it.
+func tokenRing(name string, n int, buggy bool) *compose.Network {
+	holder := tokenRingStation("station-holder", tokenRingChurn, false, true)
+	idle := tokenRingStation("station-idle", tokenRingChurn, false, false)
+	var dropper *fsp.FSP
+	if buggy {
+		dropper = tokenRingStation("station-buggy", tokenRingChurn, true, false)
+	}
+	net := &compose.Network{Name: name}
+	for i := 0; i < n; i++ {
+		cell := idle
+		if i == 0 {
+			cell = holder
+		} else if buggy && i == n/2 {
+			cell = dropper
+		}
+		net.Add(cell, map[string]string{
+			"recv": fmt.Sprintf("t%d", i),
+			"send": fmt.Sprintf("t%d", (i+1)%n),
+		})
+		net.Hide(fmt.Sprintf("t%d", i))
+	}
+	return net
+}
+
+// TokenRing returns the n-station token ring (n >= 2): exactly one
+// station holds the token, works, and passes it around over hidden
+// channels, while the idle stations churn internal tau loops. The flat
+// product is exponential in n, yet the ring is observationally equivalent
+// to TokenRingSpec — an endless stream of "work".
+func TokenRing(n int) *compose.Network {
+	return tokenRing(fmt.Sprintf("token-ring-%d", n), n, false)
+}
+
+// BuggyTokenRing is TokenRing with the station halfway around the ring
+// replaced by one that can silently drop the token, after which no
+// station ever works again: the ring is NOT ≈ TokenRingSpec, and the
+// mismatch is reachable within a trace linear in n — the early-exit
+// stress case for the on-the-fly checker.
+func BuggyTokenRing(n int) *compose.Network {
+	return tokenRing(fmt.Sprintf("buggy-token-ring-%d", n), n, true)
+}
+
+// TokenRingSpec is the token ring's specification: an endless stream of
+// "work" (one state, accepting, deterministic and tau-free — eligible for
+// the on-the-fly game).
+func TokenRingSpec() *fsp.FSP {
+	b := fsp.NewBuilder("work-loop")
+	b.AddStates(1)
+	b.ArcName(0, "work", 0)
+	b.Accept(0)
+	return b.MustBuild()
+}
+
 // NetworkGalleryEntry is one exhibit of the network gallery: a process
 // network, its specification, and the expected ≈ verdict.
 type NetworkGalleryEntry struct {
@@ -155,6 +249,20 @@ func NetworkGallery() []NetworkGalleryEntry {
 		Spec:        CounterSpec(3),
 		Weak:        false,
 		Description: "a dropping middle stage breaks the buffer law",
+	})
+	out = append(out, NetworkGalleryEntry{
+		Name:        "token-ring-6",
+		Net:         TokenRing(6),
+		Spec:        TokenRingSpec(),
+		Weak:        true,
+		Description: "a circulating token yields an endless work stream",
+	})
+	out = append(out, NetworkGalleryEntry{
+		Name:        "buggy-token-ring-6",
+		Net:         BuggyTokenRing(6),
+		Spec:        TokenRingSpec(),
+		Weak:        false,
+		Description: "a token-dropping station silences the ring forever",
 	})
 	return out
 }

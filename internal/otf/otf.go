@@ -1,0 +1,686 @@
+// Package otf is the on-the-fly compositional verification subsystem: it
+// decides whether a network of communicating processes is equivalent to a
+// specification by playing the bisimulation game lazily on the reachable
+// part of the product-vs-spec pair space, never materializing the
+// composed process (no compose.Network.FSP, no Index, no saturation of
+// the product).
+//
+// The game. Successor tuples are drawn directly from the network's
+// compose.Expansion — the per-component dense-label transition tables the
+// materializing explorer runs on — and paired with states of the spec.
+// The spec must be action-deterministic (and tau-free for the weak
+// relations); Eligible reports whether a given spec qualifies. Under that
+// restriction every move of the network forces a unique answering move of
+// the spec, so the greatest bisimulation containing the start pair is
+// reachable by plain BFS over forced pairs and equivalence reduces to a
+// per-pair local check:
+//
+//   - the pair's extensions must agree (the initial-partition condition
+//     of Lemma 3.1, checked pointwise);
+//   - every product transition must be answered by the spec: observables
+//     through the spec's transition function, taus by the spec standing
+//     still (weak game) or by a matching spec tau (strong game);
+//   - every action the spec enables must be (weakly) enabled in the
+//     product — for the weak game this walks the product's tau-closure
+//     lazily, stopping as soon as the obligations are met.
+//
+// The first pair failing a check is a distinguishing state: the game
+// stops immediately and reports the verdict with a diagnostic trace from
+// the start pair. On inequivalent instances whose mismatch is shallow —
+// a buggy station in an exponentially large token ring — the game
+// terminates after visiting a vanishing fraction of the product.
+//
+// Exploration is parallel, following the lts.Builder design: the BFS
+// frontier of each level is sharded across workers, discovered pairs are
+// hash-consed into a sharded visited table (per-worker successor buffers,
+// merged into the next frontier at the level barrier), and the first
+// mismatch wins via an atomic flag.
+//
+// Soundness mirrors engine.CheckNetwork: callers pass the network with
+// components already quotiented by a congruence for the relation (engine
+// does this through its artifact cache), which shrinks the pair space but
+// never changes the verdict. See engine.CheckNetworkOTF for the wiring
+// and the fallback to minimize-then-compose when the spec is ineligible.
+package otf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ccs/internal/compose"
+	"ccs/internal/fsp"
+)
+
+// Rel selects the equivalence the game decides.
+type Rel int
+
+const (
+	// Strong is strong equivalence ~: tau is an ordinary label, so the
+	// spec may carry (deterministic) tau transitions.
+	Strong Rel = iota + 1
+	// Weak is observational equivalence ≈ (Definition 2.2.1).
+	Weak
+	// Congruence is observation congruence ≈ᶜ: the weak game with the
+	// root condition — an initial tau of the product cannot be answered
+	// by a tau-free spec, so it is a mismatch at the start pair.
+	Congruence
+)
+
+func (r Rel) String() string {
+	switch r {
+	case Strong:
+		return "strong"
+	case Weak:
+		return "weak"
+	case Congruence:
+		return "congruence"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tunes a Check run.
+type Options struct {
+	// Workers is the exploration pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// Counterexample is a distinguishing scenario found by the game.
+type Counterexample struct {
+	// Trace is the action sequence (tau included) from the start of the
+	// product to the mismatching pair.
+	Trace []string
+	// Reason says what the mismatch is.
+	Reason string
+}
+
+func (c *Counterexample) String() string {
+	t := strings.Join(c.Trace, "·")
+	if t == "" {
+		t = "ε"
+	}
+	return fmt.Sprintf("after %s: %s", t, c.Reason)
+}
+
+// Result is the outcome of one on-the-fly check.
+type Result struct {
+	// Equivalent is the verdict.
+	Equivalent bool
+	// Pairs is the number of distinct (product state, spec state) pairs
+	// interned before the game ended — the lazy analogue of the product
+	// state count, and the measure of how early an early exit was.
+	Pairs int
+	// Depth is the number of BFS levels explored.
+	Depth int
+	// Counterexample describes the first mismatch; nil when equivalent.
+	Counterexample *Counterexample
+}
+
+// Eligible reports whether spec can serve as the deterministic side of
+// the on-the-fly game for rel: action-deterministic everywhere, tau-free
+// unless the game is strong, and free of the saturation epsilon. A nil
+// error means Check will not fall over the spec's shape.
+func Eligible(spec *fsp.FSP, rel Rel) error {
+	if spec == nil || spec.NumStates() == 0 {
+		return errors.New("otf: spec has no states")
+	}
+	for s := 0; s < spec.NumStates(); s++ {
+		arcs := spec.Arcs(fsp.State(s))
+		for i, a := range arcs {
+			if a.Act == fsp.Tau && rel != Strong {
+				return fmt.Errorf("otf: spec state %d has a tau transition; the %s game needs a tau-free deterministic spec", s, rel)
+			}
+			if spec.Alphabet().Name(a.Act) == fsp.EpsilonName {
+				return fmt.Errorf("otf: spec transitions on the saturation epsilon %q", fsp.EpsilonName)
+			}
+			// Arcs are (action, target)-sorted and deduplicated, so a
+			// repeated action means two distinct targets.
+			if i > 0 && arcs[i-1].Act == a.Act {
+				return fmt.Errorf("otf: spec state %d is nondeterministic on %q", s, spec.Alphabet().Name(a.Act))
+			}
+		}
+	}
+	return nil
+}
+
+// Check decides whether net rel spec by the on-the-fly game. The spec
+// must satisfy Eligible for rel; the network is explored lazily and the
+// call returns as soon as a mismatch is found. Cancelling the context
+// stops the exploration at the next level barrier.
+func Check(ctx context.Context, net *compose.Network, spec *fsp.FSP, rel Rel, opts Options) (*Result, error) {
+	switch rel {
+	case Strong, Weak, Congruence:
+	default:
+		return nil, fmt.Errorf("otf: relation %d not covered by the on-the-fly game", rel)
+	}
+	if err := Eligible(spec, rel); err != nil {
+		return nil, err
+	}
+	e, err := net.Expand()
+	if err != nil {
+		return nil, err
+	}
+	s := newSession(e, spec, rel)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return s.explore(ctx, workers)
+}
+
+// nShards is the visited-table shard count; pair ids carry the shard in
+// their low bits.
+const (
+	shardBits = 6
+	nShards   = 1 << shardBits
+)
+
+// parentLink records how a pair was first discovered, for trace
+// reconstruction: the discovering pair and the product label taken.
+// The root pair has parent -1.
+type parentLink struct {
+	parent int32
+	label  int32
+}
+
+// shard is one slice of the hash-consed visited table. ids maps the
+// packed (state vector, spec state) key to the pair id; parents is
+// indexed by the id's local part.
+type shard struct {
+	mu      sync.Mutex
+	index   int32
+	ids     map[string]int32
+	parents []parentLink
+}
+
+// pairRec is one frontier entry: an interned pair with its state vector
+// kept alongside so expansion never reads the visited table.
+type pairRec struct {
+	id  int32
+	q   int32
+	vec []int32
+}
+
+// failure is the first mismatch found, published through an atomic
+// pointer so every worker stops on the next pair.
+type failure struct {
+	at     int32
+	reason string
+}
+
+// session holds the translated spec and the shared exploration state.
+type session struct {
+	e   *compose.Expansion
+	rel Rel
+	k   int
+
+	// labelNames extends the expansion's dense labels with actions only
+	// the spec performs; numLabels is its length and words the bitset
+	// width over it.
+	labelNames []string
+	numLabels  int
+	words      int
+
+	// specDelta[q*numLabels+l] is the unique l-successor of spec state q
+	// or -1; specEnabled is the per-state enabled-label bitset (stride
+	// words). For the weak games the tau bit is never set.
+	specDelta   []int32
+	specEnabled []uint64
+
+	// Extension signatures as bitsets over the interned extension-variable
+	// names (stride extWords): specExt per spec state, compExt per
+	// component state (nil = empty extension).
+	extWords int
+	extNames []string
+	specExt  [][]uint64
+	compExt  [][][]uint64
+
+	specStart int32
+	rootID    int32
+	shards    [nShards]shard
+	pairs     atomic.Int64
+	fail      atomic.Pointer[failure]
+}
+
+func newSession(e *compose.Expansion, spec *fsp.FSP, rel Rel) *session {
+	s := &session{e: e, rel: rel, k: e.K(), specStart: int32(spec.Start())}
+
+	// Dense labels: the network's, plus any spec action missing from
+	// them. Spec-only labels are never produced by the product, so pairs
+	// whose spec state enables one fail the enabledness check — exactly
+	// the right verdict.
+	s.labelNames = append([]string(nil), e.Labels...)
+	labelOf := make(map[string]int32, len(s.labelNames))
+	for i, nm := range s.labelNames {
+		labelOf[nm] = int32(i)
+	}
+	specLabel := make([]int32, spec.Alphabet().Len())
+	specLabel[fsp.Tau] = 0
+	for a := 1; a < spec.Alphabet().Len(); a++ {
+		nm := spec.Alphabet().Name(fsp.Action(a))
+		id, ok := labelOf[nm]
+		if !ok {
+			id = int32(len(s.labelNames))
+			s.labelNames = append(s.labelNames, nm)
+			labelOf[nm] = id
+		}
+		specLabel[a] = id
+	}
+	s.numLabels = len(s.labelNames)
+	s.words = (s.numLabels + 63) / 64
+
+	n := spec.NumStates()
+	s.specDelta = make([]int32, n*s.numLabels)
+	for i := range s.specDelta {
+		s.specDelta[i] = -1
+	}
+	s.specEnabled = make([]uint64, n*s.words)
+	for q := 0; q < n; q++ {
+		enabled := s.specEnabled[q*s.words : (q+1)*s.words]
+		for _, a := range spec.Arcs(fsp.State(q)) {
+			l := specLabel[a.Act]
+			s.specDelta[q*s.numLabels+int(l)] = int32(a.To)
+			setBit(enabled, l)
+		}
+	}
+
+	// Extension-name interning: bit per distinct variable name across the
+	// components and the spec, so product-extension unions are word ORs.
+	extOf := map[string]int32{}
+	internExt := func(nm string) int32 {
+		id, ok := extOf[nm]
+		if !ok {
+			id = int32(len(s.extNames))
+			s.extNames = append(s.extNames, nm)
+			extOf[nm] = id
+		}
+		return id
+	}
+	for q := 0; q < n; q++ {
+		for _, id := range spec.Ext(fsp.State(q)).IDs() {
+			internExt(spec.Vars().Name(id))
+		}
+	}
+	for i := range e.Exts {
+		for _, names := range e.Exts[i] {
+			for _, nm := range names {
+				internExt(nm)
+			}
+		}
+	}
+	s.extWords = (len(s.extNames) + 63) / 64
+	if s.extWords == 0 {
+		s.extWords = 1
+	}
+	s.specExt = make([][]uint64, n)
+	for q := 0; q < n; q++ {
+		m := make([]uint64, s.extWords)
+		for _, id := range spec.Ext(fsp.State(q)).IDs() {
+			setBit(m, extOf[spec.Vars().Name(id)])
+		}
+		s.specExt[q] = m
+	}
+	s.compExt = make([][][]uint64, len(e.Exts))
+	for i := range e.Exts {
+		s.compExt[i] = make([][]uint64, len(e.Exts[i]))
+		for st, names := range e.Exts[i] {
+			if len(names) == 0 {
+				continue
+			}
+			m := make([]uint64, s.extWords)
+			for _, nm := range names {
+				setBit(m, extOf[nm])
+			}
+			s.compExt[i][st] = m
+		}
+	}
+
+	for i := range s.shards {
+		s.shards[i].index = int32(i)
+		s.shards[i].ids = map[string]int32{}
+	}
+	return s
+}
+
+// intern hash-conses the pair (vec, q), recording its discovery parent on
+// first sight. buf is caller scratch of 4*(k+1) bytes.
+func (s *session) intern(buf []byte, vec []int32, q, parent, label int32) (id int32, fresh bool) {
+	putKey(buf, vec, q)
+	sh := &s.shards[fnv1a(buf)&(nShards-1)]
+	sh.mu.Lock()
+	if id, ok := sh.ids[string(buf)]; ok {
+		sh.mu.Unlock()
+		return id, false
+	}
+	id = int32(len(sh.parents))<<shardBits | sh.index
+	sh.ids[string(buf)] = id
+	sh.parents = append(sh.parents, parentLink{parent: parent, label: label})
+	sh.mu.Unlock()
+	s.pairs.Add(1)
+	return id, true
+}
+
+// trace reconstructs the label path from the root to pair id. Called only
+// after the workers have stopped.
+func (s *session) trace(id int32) []string {
+	var labels []int32
+	for id >= 0 {
+		p := s.shards[id&(nShards-1)].parents[id>>shardBits]
+		if p.label >= 0 {
+			labels = append(labels, p.label)
+		}
+		id = p.parent
+	}
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		out[len(labels)-1-i] = s.labelNames[l]
+	}
+	return out
+}
+
+// worker is the per-goroutine scratch: bitsets, key buffers, the
+// closure-walk queue and the next-frontier buffer.
+type worker struct {
+	s       *session
+	succ    []int32
+	walkSuc []int32
+	key     []byte
+	vkey    []byte
+	ext     []uint64
+	direct  []uint64
+	missing []uint64
+	seen    map[string]struct{}
+	queue   []int32 // closure-walk arena: vectors flat, stride s.k
+	next    []pairRec
+}
+
+func (s *session) newWorker() *worker {
+	return &worker{
+		s:       s,
+		succ:    make([]int32, s.k),
+		walkSuc: make([]int32, s.k),
+		key:     make([]byte, 4*(s.k+1)),
+		vkey:    make([]byte, 4*s.k),
+		ext:     make([]uint64, s.extWords),
+		direct:  make([]uint64, s.words),
+		missing: make([]uint64, s.words),
+		seen:    map[string]struct{}{},
+	}
+}
+
+// explore runs the level-synchronized parallel BFS over forced pairs.
+func (s *session) explore(ctx context.Context, workers int) (*Result, error) {
+	rootVec := append([]int32(nil), s.e.Starts...)
+	rootQ := s.specStart
+	buf := make([]byte, 4*(s.k+1))
+	s.rootID, _ = s.intern(buf, rootVec, rootQ, -1, -1)
+	frontier := []pairRec{{id: s.rootID, q: rootQ, vec: rootVec}}
+
+	pool := make([]*worker, workers)
+	for i := range pool {
+		pool[i] = s.newWorker()
+	}
+
+	const chunk = 32
+	depth := 0
+	for len(frontier) > 0 && s.fail.Load() == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				w.next = w.next[:0]
+				for s.fail.Load() == nil {
+					hi := cursor.Add(chunk)
+					lo := hi - chunk
+					if lo >= int64(len(frontier)) {
+						return
+					}
+					if hi > int64(len(frontier)) {
+						hi = int64(len(frontier))
+					}
+					for _, rec := range frontier[lo:hi] {
+						if f := w.process(rec); f != nil {
+							s.fail.CompareAndSwap(nil, f)
+							return
+						}
+					}
+				}
+			}(pool[wi])
+		}
+		wg.Wait()
+		depth++
+		frontier = frontier[:0]
+		for _, w := range pool {
+			frontier = append(frontier, w.next...)
+		}
+	}
+
+	res := &Result{Pairs: int(s.pairs.Load()), Depth: depth}
+	if f := s.fail.Load(); f != nil {
+		res.Counterexample = &Counterexample{Trace: s.trace(f.at), Reason: f.reason}
+	} else {
+		res.Equivalent = true
+	}
+	return res, nil
+}
+
+// process runs the local bisimulation-game checks of one pair and
+// enqueues its undiscovered forced successors. A non-nil return is the
+// distinguishing mismatch.
+func (w *worker) process(rec pairRec) *failure {
+	s := w.s
+
+	// Extensions must agree (the initial-partition condition).
+	clearWords(w.ext)
+	for i, st := range rec.vec {
+		if m := s.compExt[i][st]; m != nil {
+			orWords(w.ext, m)
+		}
+	}
+	if !equalWords(w.ext, s.specExt[rec.q]) {
+		return &failure{at: rec.id, reason: fmt.Sprintf(
+			"the network state has extension {%s}; the spec state has {%s}",
+			strings.Join(w.extNames(w.ext), ","), strings.Join(w.extNames(s.specExt[rec.q]), ","))}
+	}
+
+	// Every product move must be answered by the spec.
+	clearWords(w.direct)
+	base := int(rec.q) * s.numLabels
+	var fail *failure
+	s.e.Succ(rec.vec, w.succ, func(label int32, succ []int32) bool {
+		q2 := rec.q
+		if label == 0 && s.rel != Strong {
+			// The spec stands still on a product tau — except at the ≈ᶜ
+			// root, where an initial tau needs an answering spec tau that
+			// a tau-free spec cannot provide.
+			if s.rel == Congruence && rec.id == s.rootID {
+				fail = &failure{at: rec.id, reason: "the network starts with a tau move; the tau-free spec violates the ≈ᶜ root condition"}
+				return false
+			}
+		} else {
+			setBit(w.direct, label)
+			q2 = s.specDelta[base+int(label)]
+			if q2 < 0 {
+				fail = &failure{at: rec.id, reason: fmt.Sprintf("the network performs %q; the spec state cannot", s.labelNames[label])}
+				return false
+			}
+		}
+		id, fresh := s.intern(w.key, succ, q2, rec.id, label)
+		if fresh {
+			vec := append([]int32(nil), succ...)
+			w.next = append(w.next, pairRec{id: id, q: q2, vec: vec})
+		}
+		return true
+	})
+	if fail != nil {
+		return fail
+	}
+
+	// Every spec move must be (weakly) matched by the product. The weak
+	// games walk the product's tau-closure lazily, but only for the
+	// obligations the direct moves left open.
+	copy(w.missing, s.specEnabled[int(rec.q)*s.words:(int(rec.q)+1)*s.words])
+	andNotWords(w.missing, w.direct)
+	if s.rel != Strong && !zeroWords(w.missing) {
+		w.walkMissing(rec.vec)
+	}
+	if !zeroWords(w.missing) {
+		how := ""
+		if s.rel != Strong {
+			how = " weakly"
+		}
+		return &failure{at: rec.id, reason: fmt.Sprintf(
+			"the spec requires %q; the network cannot%s perform it", s.labelNames[firstBit(w.missing)], how)}
+	}
+	return nil
+}
+
+// walkMissing clears from w.missing every label weakly enabled from vec:
+// a BFS over the product's tau successors (component taus and handshakes
+// alike), collecting direct observables of each closure member, stopping
+// the moment the obligations are met. The walk only ever visits states
+// the main BFS reaches through the same tau edges, so laziness is
+// preserved: an early exit stays early.
+//
+// The queue is a per-worker flat arena (stride k), so the walk allocates
+// only the seen-set keys of genuinely new closure members, amortized by
+// the arena's growth. Exhaustive walks are deliberately not memoized:
+// obligations are usually met within a few steps (the early exit), a
+// complete weak-enabled set would force the whole closure to be swept
+// per state, and a walk that exhausts without meeting its obligations is
+// a mismatch — the game ends there, so the memo would never be read.
+func (w *worker) walkMissing(vec []int32) {
+	s := w.s
+	k := s.k
+	clear(w.seen)
+	putVec(w.vkey, vec)
+	w.seen[string(w.vkey)] = struct{}{}
+	w.queue = append(w.queue[:0], vec...)
+	for i := 0; i*k < len(w.queue); i++ {
+		// cur stays valid if the arena reallocates mid-iteration: the old
+		// backing array is untouched and Succ copies it per emit.
+		cur := w.queue[i*k : (i+1)*k]
+		done := !s.e.Succ(cur, w.walkSuc, func(label int32, succ []int32) bool {
+			if label == 0 {
+				putVec(w.vkey, succ)
+				if _, ok := w.seen[string(w.vkey)]; !ok {
+					w.seen[string(w.vkey)] = struct{}{}
+					w.queue = append(w.queue, succ...)
+				}
+			} else if hasBit(w.missing, label) {
+				clearBit(w.missing, label)
+				if zeroWords(w.missing) {
+					return false
+				}
+			}
+			return true
+		})
+		if done {
+			return
+		}
+	}
+}
+
+// extNames renders an extension bitset for diagnostics.
+func (w *worker) extNames(m []uint64) []string {
+	var out []string
+	for i, nm := range w.s.extNames {
+		if hasBit(m, int32(i)) {
+			out = append(out, nm)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- small bitset and key helpers -----------------------------------
+
+func setBit(b []uint64, i int32)   { b[i>>6] |= 1 << (uint(i) & 63) }
+func clearBit(b []uint64, i int32) { b[i>>6] &^= 1 << (uint(i) & 63) }
+func hasBit(b []uint64, i int32) bool {
+	return b[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func clearWords(b []uint64) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func orWords(dst, src []uint64) {
+	for i, w := range src {
+		dst[i] |= w
+	}
+}
+
+func andNotWords(dst, src []uint64) {
+	for i, w := range src {
+		dst[i] &^= w
+	}
+}
+
+func zeroWords(b []uint64) bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func equalWords(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func firstBit(b []uint64) int32 {
+	for i, w := range b {
+		if w != 0 {
+			return int32(i<<6 + bits.TrailingZeros64(w))
+		}
+	}
+	return -1
+}
+
+func putVec(buf []byte, vec []int32) {
+	for i, s := range vec {
+		buf[4*i] = byte(s)
+		buf[4*i+1] = byte(s >> 8)
+		buf[4*i+2] = byte(s >> 16)
+		buf[4*i+3] = byte(s >> 24)
+	}
+}
+
+func putKey(buf []byte, vec []int32, q int32) {
+	putVec(buf, vec)
+	i := 4 * len(vec)
+	buf[i] = byte(q)
+	buf[i+1] = byte(q >> 8)
+	buf[i+2] = byte(q >> 16)
+	buf[i+3] = byte(q >> 24)
+}
+
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,263 @@
+package otf
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"ccs/internal/compose"
+	"ccs/internal/core"
+	"ccs/internal/fsp"
+	"ccs/internal/gen"
+)
+
+var bg = context.Background()
+
+// checkBoth runs the game single- and multi-worker and requires agreement;
+// the single-worker verdict is returned.
+func checkBoth(t *testing.T, net *compose.Network, spec *fsp.FSP, rel Rel) *Result {
+	t.Helper()
+	seq, err := Check(bg, net, spec, rel, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("Check(workers=1): %v", err)
+	}
+	par, err := Check(bg, net, spec, rel, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("Check(workers=4): %v", err)
+	}
+	if seq.Equivalent != par.Equivalent {
+		t.Fatalf("worker counts disagree: 1 worker = %v, 4 workers = %v", seq.Equivalent, par.Equivalent)
+	}
+	return seq
+}
+
+// TestRelayAgainstCounter: the buffer-law gallery decided on the fly, on
+// the raw (unminimized) networks — the game does not need minimized
+// components to be correct, only to be fast.
+func TestRelayAgainstCounter(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		res := checkBoth(t, gen.RelayNetwork(n, 2), gen.CounterSpec(n), Weak)
+		if !res.Equivalent {
+			t.Errorf("relay-%d: on-the-fly says ≉, want ≈ (counterexample: %v)", n, res.Counterexample)
+		}
+	}
+	res := checkBoth(t, gen.LossyRelayNetwork(3, 2), gen.CounterSpec(3), Weak)
+	if res.Equivalent {
+		t.Error("lossy relay accepted")
+	}
+	if res.Counterexample == nil || res.Counterexample.Reason == "" {
+		t.Error("inequivalent verdict without a counterexample")
+	}
+}
+
+// TestTokenRing: the ring ≈ the work loop; the buggy ring is rejected
+// with a counterexample whose trace reaches the dropping station.
+func TestTokenRing(t *testing.T) {
+	if res := checkBoth(t, gen.TokenRing(4), gen.TokenRingSpec(), Weak); !res.Equivalent {
+		t.Errorf("token-ring-4 rejected: %v", res.Counterexample)
+	}
+	res := checkBoth(t, gen.BuggyTokenRing(4), gen.TokenRingSpec(), Weak)
+	if res.Equivalent {
+		t.Error("buggy token ring accepted")
+	}
+	if res.Counterexample == nil {
+		t.Fatal("no counterexample")
+	}
+	if len(res.Counterexample.Trace) == 0 {
+		t.Error("counterexample trace is empty; the drop needs at least one work+pass")
+	}
+}
+
+// TestDifferentialRandomWeak cross-validates the weak game against the
+// flat saturate-and-partition decider on the random network suite, with
+// specs drawn both from quotients of the products (positives, when they
+// happen to be deterministic) and from unrelated deterministic processes
+// (mostly negatives).
+func TestDifferentialRandomWeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ran := 0
+	for i := 0; i < 60; i++ {
+		net := gen.RandomNetwork(rng)
+		flat, err := net.FSP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var specs []*fsp.FSP
+		if min, _, err := core.QuotientWeak(flat); err == nil {
+			specs = append(specs, min)
+		}
+		specs = append(specs, gen.RandomDeterministic(rng, 1+rng.Intn(4), 2))
+		for _, spec := range specs {
+			if Eligible(spec, Weak) != nil {
+				continue
+			}
+			ran++
+			want, err := core.WeakEquivalent(flat, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := checkBoth(t, net, spec, Weak)
+			if res.Equivalent != want {
+				t.Fatalf("net %d (%s) vs %s: otf=%v flat=%v\ncounterexample: %v",
+					i, net, spec, res.Equivalent, want, res.Counterexample)
+			}
+		}
+	}
+	if ran < 30 {
+		t.Fatalf("only %d eligible differential cases ran; suite too thin", ran)
+	}
+}
+
+// TestDifferentialRandomStrongAndCongruence: same harness for the strong
+// and congruence games.
+func TestDifferentialRandomStrongAndCongruence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ranStrong, ranCong := 0, 0
+	for i := 0; i < 60; i++ {
+		net := gen.RandomNetwork(rng)
+		flat, err := net.FSP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		strongSpecs := []*fsp.FSP{gen.RandomDeterministic(rng, 1+rng.Intn(4), 2)}
+		if min, _, err := core.QuotientStrong(flat); err == nil {
+			strongSpecs = append(strongSpecs, min)
+		}
+		for _, spec := range strongSpecs {
+			if Eligible(spec, Strong) == nil {
+				ranStrong++
+				want, err := core.StrongEquivalent(flat, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res := checkBoth(t, net, spec, Strong); res.Equivalent != want {
+					t.Fatalf("net %d strong vs %s: otf=%v flat=%v", i, spec, res.Equivalent, want)
+				}
+			}
+			if Eligible(spec, Congruence) == nil {
+				ranCong++
+				want, err := core.ObservationCongruent(flat, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res := checkBoth(t, net, spec, Congruence); res.Equivalent != want {
+					t.Fatalf("net %d congruence vs %s: otf=%v flat=%v", i, spec, res.Equivalent, want)
+				}
+			}
+		}
+	}
+	if ranStrong < 20 || ranCong < 20 {
+		t.Fatalf("differential coverage too thin: strong=%d congruence=%d", ranStrong, ranCong)
+	}
+}
+
+// TestCongruenceRootCondition: tau·work ≈ work but not ≈ᶜ — the root
+// condition must separate the games.
+func TestCongruenceRootCondition(t *testing.T) {
+	b := fsp.NewBuilder("tau-work")
+	b.AddStates(2)
+	b.ArcName(0, fsp.TauName, 1)
+	b.ArcName(1, "work", 1)
+	b.Accept(0)
+	b.Accept(1)
+	net := compose.New("tau-first", b.MustBuild())
+	spec := gen.TokenRingSpec() // the plain work loop
+	if res := checkBoth(t, net, spec, Weak); !res.Equivalent {
+		t.Errorf("tau·work ≉ work-loop: %v", res.Counterexample)
+	}
+	if res := checkBoth(t, net, spec, Congruence); res.Equivalent {
+		t.Error("tau·work ≈ᶜ work-loop accepted; the root condition was lost")
+	}
+}
+
+// TestExtensionMismatch: a pair with differing extensions must fail even
+// when the transition structure matches.
+func TestExtensionMismatch(t *testing.T) {
+	b := fsp.NewBuilder("half-accepting")
+	b.AddStates(2)
+	b.ArcName(0, "a", 1)
+	b.ArcName(1, "a", 0)
+	b.Accept(0) // state 1 does not accept
+	p := b.MustBuild()
+
+	b2 := fsp.NewBuilder("all-accepting")
+	b2.AddStates(2)
+	b2.ArcName(0, "a", 1)
+	b2.ArcName(1, "a", 0)
+	b2.Accept(0)
+	b2.Accept(1)
+	spec := b2.MustBuild()
+
+	res := checkBoth(t, compose.New("halves", p), spec, Weak)
+	if res.Equivalent {
+		t.Error("extension mismatch accepted")
+	}
+}
+
+// TestEligible enumerates the spec shapes the game refuses.
+func TestEligible(t *testing.T) {
+	tau := fsp.NewBuilder("has-tau")
+	tau.AddStates(2)
+	tau.ArcName(0, fsp.TauName, 1)
+	tauSpec := tau.MustBuild()
+	if err := Eligible(tauSpec, Weak); err == nil {
+		t.Error("tau spec eligible for the weak game")
+	}
+	if err := Eligible(tauSpec, Strong); err != nil {
+		t.Errorf("deterministic tau spec rejected by the strong game: %v", err)
+	}
+
+	nd := fsp.NewBuilder("nondet")
+	nd.AddStates(3)
+	nd.ArcName(0, "a", 1)
+	nd.ArcName(0, "a", 2)
+	if err := Eligible(nd.MustBuild(), Weak); err == nil {
+		t.Error("nondeterministic spec eligible")
+	}
+
+	eps := fsp.NewBuilder("eps")
+	eps.AddStates(2)
+	eps.ArcName(0, fsp.EpsilonName, 1)
+	if err := Eligible(eps.MustBuild(), Weak); err == nil {
+		t.Error("epsilon spec eligible")
+	}
+
+	if err := Eligible(nil, Weak); err == nil {
+		t.Error("nil spec eligible")
+	}
+}
+
+// TestEarlyExitVisitsFewPairs: on the buggy token ring the game must stop
+// long before exhausting even the raw product, and the spec-side action
+// the ring cannot deliver must be named in the counterexample.
+func TestEarlyExitVisitsFewPairs(t *testing.T) {
+	const n = 6
+	net := gen.BuggyTokenRing(n)
+	idx, _, err := net.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkBoth(t, net, gen.TokenRingSpec(), Weak)
+	if res.Equivalent {
+		t.Fatal("buggy ring accepted")
+	}
+	if res.Pairs >= idx.N() {
+		t.Errorf("game interned %d pairs, flat product has only %d states — no early exit", res.Pairs, idx.N())
+	}
+}
+
+// TestCancellation: a cancelled context aborts the exploration.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if _, err := Check(ctx, gen.TokenRing(4), gen.TokenRingSpec(), Weak, Options{Workers: 1}); err == nil {
+		t.Error("cancelled context produced no error")
+	}
+}
+
+// TestUncoveredRelation: the package rejects relations outside the game.
+func TestUncoveredRelation(t *testing.T) {
+	if _, err := Check(bg, gen.TokenRing(2), gen.TokenRingSpec(), Rel(99), Options{}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}

@@ -65,3 +65,41 @@ func (c *Checker) CheckNetwork(ctx context.Context, net *Network, spec *Process,
 func CheckNetwork(ctx context.Context, net *Network, spec *Process, rel Relation, k int) (bool, error) {
 	return NewChecker().CheckNetwork(ctx, net, spec, rel, k)
 }
+
+// CheckNetworkOTF decides the same query as CheckNetwork on the
+// on-the-fly route: components and spec are quotiented through the cache
+// as usual, but the product of the minima is never materialized — a lazy
+// bisimulation game (internal/otf) explores the reachable product-vs-spec
+// pair space in parallel and returns on the first mismatch. Networks
+// whose (even minimized) product is too large to build can still be
+// checked this way, and inequivalent instances are often decided after a
+// vanishing fraction of the product. The game needs a deterministic spec
+// (tau-free for the weak relations) and covers Strong, Weak and
+// Congruence; everything else falls back to minimize-then-compose, so
+// the verdict always agrees with CheckNetwork.
+func (c *Checker) CheckNetworkOTF(ctx context.Context, net *Network, spec *Process, rel Relation, k int) (bool, error) {
+	eq, _, err := c.CheckNetworkOTFInfo(ctx, net, spec, rel, k)
+	return eq, err
+}
+
+// NetworkOTFInfo reports how CheckNetworkOTFInfo answered a query: on the
+// fly (with the game's exploration stats and, on inequivalence, its
+// distinguishing trace) or through the minimize-then-compose fallback
+// (with the reason).
+type NetworkOTFInfo = engine.OTFInfo
+
+// CheckNetworkOTFInfo is Checker.CheckNetworkOTF plus the route taken,
+// for callers that report or assert on it.
+func (c *Checker) CheckNetworkOTFInfo(ctx context.Context, net *Network, spec *Process, rel Relation, k int) (bool, NetworkOTFInfo, error) {
+	er, err := relationToEngine(rel)
+	if err != nil {
+		return false, NetworkOTFInfo{}, err
+	}
+	return c.e.CheckNetworkOTFInfo(ctx, net, spec, er, k)
+}
+
+// CheckNetworkOTF is the convenience form of Checker.CheckNetworkOTF with
+// a fresh single-use checker.
+func CheckNetworkOTF(ctx context.Context, net *Network, spec *Process, rel Relation, k int) (bool, error) {
+	return NewChecker().CheckNetworkOTF(ctx, net, spec, rel, k)
+}

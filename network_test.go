@@ -98,3 +98,40 @@ func TestFacadeNetwork(t *testing.T) {
 		t.Error("empty network produced no error")
 	}
 }
+
+// TestFacadeNetworkOTF: the on-the-fly route through the facade agrees
+// with minimize-then-compose for every relation, covered by the game or
+// not, on both verdict polarities.
+func TestFacadeNetworkOTF(t *testing.T) {
+	net := relayNet(t)
+	spec := buildCounter(t, 2)
+	wrong := buildCounter(t, 3)
+	ctx := context.Background()
+	checker := ccs.NewChecker()
+	for _, rel := range []ccs.Relation{ccs.Strong, ccs.Weak, ccs.Trace, ccs.Congruence, ccs.Simulation} {
+		for _, s := range []*ccs.Process{spec, wrong} {
+			want, err := checker.CheckNetwork(ctx, net, s, rel, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := checker.CheckNetworkOTF(ctx, net, s, rel, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("rel %v spec %s: OTF=%v MTC=%v", rel, s.Name(), got, want)
+			}
+		}
+	}
+	// The single-use convenience form.
+	eq, err := ccs.CheckNetworkOTF(ctx, net, spec, ccs.Weak, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("two chained cells not ≈ the 2-place buffer on the fly")
+	}
+	if _, err := ccs.CheckNetworkOTF(ctx, net, spec, ccs.Relation(99), 0); err == nil {
+		t.Error("unknown relation produced no error")
+	}
+}
