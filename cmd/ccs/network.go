@@ -27,7 +27,10 @@ import (
 // else; '#' starts a comment. Without a spec the composed (minimized)
 // process is printed in the interchange format instead of checked.
 // -flat skips component minimization; -stats additionally materializes
-// the flat product's refinement index to report its exact size.
+// the flat product's refinement index to report its exact size and, with
+// -otf, reports the route actually taken (otf, otf-determinized, or
+// mtc-fallback with the reason). An inequivalent on-the-fly verdict
+// prints the game's distinguishing counterexample.
 //
 // Exit codes align with ccs batch: 0 equivalent, 1 inequivalent, 2 usage
 // or input error, 3 when the query itself failed to check (e.g. a
@@ -36,7 +39,7 @@ func cmdNetwork(args []string) (*bool, error) {
 	fs := flag.NewFlagSet("network", flag.ContinueOnError)
 	relFlag := fs.String("rel", "", "relation (default: the file's rel directive, else weak)")
 	flat := fs.Bool("flat", false, "compose the flat product (skip component minimization)")
-	otfFlag := fs.Bool("otf", false, "check on the fly (lazy product-vs-spec game; falls back when the spec is ineligible)")
+	otfFlag := fs.Bool("otf", false, "check on the fly (lazy product-vs-spec game; nondeterministic specs are determinized lazily, with a fallback only when the game cannot play)")
 	stats := fs.Bool("stats", false, "report flat product size via the CSR index")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -99,6 +102,7 @@ func cmdNetwork(args []string) (*bool, error) {
 
 	var eq bool
 	route := routeName(*flat)
+	counterexample := ""
 	switch {
 	case *flat:
 		composed, err := net.FSP()
@@ -115,13 +119,31 @@ func cmdNetwork(args []string) (*bool, error) {
 		if err != nil {
 			return nil, queryErr(err)
 		}
-		// Report the route actually taken: the engine falls back to
-		// minimize-then-compose when the game cannot cover the query.
-		if info.OnTheFly {
+		// Report the route actually taken — a silent route change is a
+		// correctness trap for anyone benchmarking: the engine plays the
+		// game directly, determinizes the spec on the fly, or falls back
+		// to minimize-then-compose when the game genuinely cannot play.
+		switch info.Route {
+		case ccs.RouteOTF:
 			route = "on-the-fly"
-		} else {
-			fmt.Fprintf(os.Stderr, "on-the-fly ineligible, used minimize-then-compose: %s\n", info.Fallback)
+		case ccs.RouteOTFDeterminized:
+			route = "on-the-fly, determinized spec"
+		default:
+			route = "minimize-then-compose fallback"
+			fmt.Fprintf(os.Stderr, "on-the-fly route unavailable, fell back to minimize-then-compose: %s\n", info.Fallback)
 		}
+		if *stats {
+			if info.OnTheFly {
+				subsets := ""
+				if info.SpecSubsets > 0 {
+					subsets = fmt.Sprintf(", %d spec subsets", info.SpecSubsets)
+				}
+				fmt.Fprintf(os.Stderr, "otf route: %s (%d pairs, depth %d%s)\n", info.Route, info.Pairs, info.Depth, subsets)
+			} else {
+				fmt.Fprintf(os.Stderr, "otf route: %s (%s)\n", info.Route, info.Fallback)
+			}
+		}
+		counterexample = info.CounterexampleString()
 	default:
 		eq, err = ccs.CheckNetwork(context.Background(), net, spec, rel, k)
 		if err != nil {
@@ -132,6 +154,9 @@ func cmdNetwork(args []string) (*bool, error) {
 		fmt.Printf("network equivalent to spec (%s, %s)\n", relName, route)
 	} else {
 		fmt.Printf("network NOT equivalent to spec (%s, %s)\n", relName, route)
+		if counterexample != "" {
+			fmt.Printf("counterexample: %s\n", counterexample)
+		}
 	}
 	return &eq, nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -169,5 +171,125 @@ func TestNetworkBadInput(t *testing.T) {
 		if got := run([]string{"network", file}); got != 2 {
 			t.Errorf("%s: exit = %d, want 2", name, got)
 		}
+	}
+}
+
+// nondetCounterTwo is counterTwo written the way real specs often are:
+// nondeterministic on c0 (a direct step or a tau-settling detour) and
+// tau-bearing (an idle refresh loop on the empty buffer). Weakly
+// equivalent to counterTwo, but rejected by the direct on-the-fly game —
+// it exercises the determinized subset route.
+const nondetCounterTwo = `fsp ndcounter
+states 6
+start 0
+ext 0 x
+ext 1 x
+ext 2 x
+ext 3 x
+ext 4 x
+ext 5 x
+arc 0 c0 1
+arc 0 c0 3
+arc 3 tau 1
+arc 1 c0 2
+arc 1 c0 4
+arc 4 tau 2
+arc 1 c2' 0
+arc 2 c2' 1
+arc 0 tau 5
+arc 5 tau 0
+`
+
+// essentialChoice is a.b + a.c: its nondeterminism is essential (the two
+// a-derivatives are inequivalent), so the subset game must refuse and
+// the CLI must fall back — loudly.
+const essentialChoice = `fsp abac
+states 5
+start 0
+ext 0 x
+ext 1 x
+ext 2 x
+ext 3 x
+ext 4 x
+arc 0 a 1
+arc 0 a 2
+arc 1 b 3
+arc 2 c 4
+`
+
+// captureRun runs the CLI capturing stdout and stderr.
+func captureRun(t *testing.T, args []string) (code int, stdout, stderr string) {
+	t.Helper()
+	oldOut, oldErr := os.Stdout, os.Stderr
+	ro, wo, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, we, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout, os.Stderr = wo, we
+	code = run(args)
+	wo.Close()
+	we.Close()
+	os.Stdout, os.Stderr = oldOut, oldErr
+	bo, _ := io.ReadAll(ro)
+	be, _ := io.ReadAll(re)
+	return code, string(bo), string(be)
+}
+
+// TestNetworkOTFDeterminized: a nondeterministic tau-bearing spec is
+// decided on the fly (no fallback), the route is reported under -stats,
+// and an inequivalent verdict prints the distinguishing counterexample.
+func TestNetworkOTFDeterminized(t *testing.T) {
+	cell := writeFixture(t, "cell.fsp", relayCell)
+	nd := writeFixture(t, "ndcounter.fsp", nondetCounterTwo)
+	net := relayNetFile(t, cell, nd)
+	code, stdout, stderr := captureRun(t, []string{"network", "-otf", "-stats", net})
+	if code != 0 {
+		t.Fatalf("relay vs nondet counter (-otf) = %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "determinized spec") {
+		t.Errorf("verdict does not name the determinized route: %q", stdout)
+	}
+	if !strings.Contains(stderr, "otf route: otf-determinized") {
+		t.Errorf("-stats does not report the route: %q", stderr)
+	}
+
+	// A lossy cell against the same nondeterministic spec: inequivalent,
+	// with the counterexample on stdout.
+	lossy := writeFixture(t, "lossy.fsp", strings.Replace(relayCell,
+		"arc 0 in 1", "arc 0 in 1\narc 1 tau 0", 1))
+	code, stdout, _ = captureRun(t, []string{"network", "-otf", relayNetFile(t, lossy, nd)})
+	if code != 1 {
+		t.Fatalf("lossy relay vs nondet counter (-otf) = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "counterexample: after ") {
+		t.Errorf("inequivalent on-the-fly verdict without a counterexample: %q", stdout)
+	}
+}
+
+// TestNetworkOTFEssentialFallback: a spec whose nondeterminism is
+// essential makes the game refuse; the CLI reports the fallback and the
+// verdict still matches the default route.
+func TestNetworkOTFEssentialFallback(t *testing.T) {
+	proc := writeFixture(t, "branch.fsp",
+		"fsp branch\nstates 3\nstart 0\next 0 x\next 1 x\next 2 x\narc 0 a 1\narc 1 b 2\narc 1 c 2\n")
+	spec := writeFixture(t, "abac.fsp", essentialChoice)
+	file := writeFixture(t, "enet.txt", "component "+proc+"\nspec "+spec+"\n")
+	want := run([]string{"network", file})
+	code, stdout, stderr := captureRun(t, []string{"network", "-otf", "-stats", file})
+	if code != want {
+		t.Errorf("fallback verdict = %d, default route = %d; routes disagree", code, want)
+	}
+	if !strings.Contains(stderr, "fell back to minimize-then-compose") {
+		t.Errorf("fallback not reported on stderr: %q", stderr)
+	}
+	if !strings.Contains(stderr, "otf route: mtc-fallback") {
+		t.Errorf("-stats does not report the fallback route: %q", stderr)
+	}
+	if !strings.Contains(stdout, "minimize-then-compose fallback") {
+		t.Errorf("verdict does not name the fallback route: %q", stdout)
 	}
 }

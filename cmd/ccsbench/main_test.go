@@ -16,7 +16,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	out := sb.String()
 	for _, want := range []string{
 		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
+		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19",
 		"inclusion-violations=0",
 		"collapse-violations=0",
 	} {

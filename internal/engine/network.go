@@ -2,7 +2,9 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strings"
 
 	"ccs/internal/compose"
 	"ccs/internal/fsp"
@@ -96,20 +98,56 @@ func (c *Checker) CheckNetwork(ctx context.Context, net *compose.Network, spec *
 	return c.Check(ctx, Query{P: composed, Q: spec, Rel: rel, K: k})
 }
 
+// Routes a CheckNetworkOTF query can take, recorded in OTFInfo.Route: the
+// direct game against a deterministic spec, the determinized subset game
+// against a nondeterministic one, or the minimize-then-compose fallback
+// for queries the game genuinely cannot play.
+const (
+	RouteOTF             = "otf"
+	RouteOTFDeterminized = "otf-determinized"
+	RouteMTCFallback     = "mtc-fallback"
+)
+
 // OTFInfo reports how CheckNetworkOTF answered a query.
 type OTFInfo struct {
 	// OnTheFly is true when the lazy game decided the query; false when
 	// the engine fell back to minimize-then-compose.
 	OnTheFly bool
-	// Fallback is why the fall back was taken ("" when OnTheFly).
+	// Route is the route actually taken: RouteOTF, RouteOTFDeterminized
+	// or RouteMTCFallback. A silent route change is a correctness trap
+	// for anyone benchmarking, so it is always recorded.
+	Route string
+	// Fallback is why the fallback was taken ("" when OnTheFly): the
+	// relation is outside the game, the spec is epsilon-tainted or
+	// empty, or the determinized game hit essential nondeterminism
+	// (a reachable spec subset mixing inequivalent states).
 	Fallback string
 	// Pairs and Depth are the game's exploration stats (OnTheFly only):
-	// distinct (product, spec) pairs interned and BFS levels walked.
+	// distinct (product, spec-side) pairs interned and BFS levels walked.
 	Pairs int
 	Depth int
+	// SpecSubsets is the number of spec subsets the determinized game
+	// interned (0 on the direct route).
+	SpecSubsets int
 	// Counterexample is the game's distinguishing trace on an
-	// inequivalent verdict (OnTheFly only).
-	Counterexample []string
+	// inequivalent verdict (OnTheFly only), with the mismatch described
+	// by CounterexampleReason.
+	Counterexample       []string
+	CounterexampleReason string
+}
+
+// CounterexampleString renders the distinguishing scenario like
+// otf.Counterexample.String: "after a·tau·b: <reason>". Empty when the
+// query carried no counterexample.
+func (i OTFInfo) CounterexampleString() string {
+	if i.CounterexampleReason == "" {
+		return ""
+	}
+	t := strings.Join(i.Counterexample, "·")
+	if t == "" {
+		t = "ε"
+	}
+	return fmt.Sprintf("after %s: %s", t, i.CounterexampleReason)
 }
 
 // otfRelation maps an engine relation onto the on-the-fly game's, when
@@ -132,11 +170,16 @@ func otfRelation(rel Relation) (otf.Rel, bool) {
 // quotiented through the artifact cache exactly as in CheckNetwork, but
 // the product of the minima is then explored lazily against the spec by
 // the on-the-fly bisimulation game (internal/otf), which returns on the
-// first mismatch. Relations the game does not cover — everything but
-// Strong, Weak and Congruence — and specs that are not deterministic
-// (tau-free for the weak relations) fall back to the
-// minimize-then-compose pipeline, so CheckNetworkOTF always agrees with
-// CheckNetwork. Like CheckNetwork, it never panics on malformed inputs.
+// first mismatch. Nondeterministic and tau-bearing specs play through
+// the game's lazy subset determinization; the engine falls back to the
+// minimize-then-compose pipeline only for queries the game genuinely
+// cannot play — relations outside Strong/Weak/Congruence, epsilon-tainted
+// or empty specs, and specs whose nondeterminism turns out to be
+// essential (a reachable subset mixes inequivalent states) — so
+// CheckNetworkOTF always agrees with CheckNetwork. The route taken and
+// any fallback reason are recorded in the OTFInfo of
+// CheckNetworkOTFInfo. Like CheckNetwork, it never panics on malformed
+// inputs.
 func (c *Checker) CheckNetworkOTF(ctx context.Context, net *compose.Network, spec *fsp.FSP, rel Relation, k int) (bool, error) {
 	eq, _, err := c.CheckNetworkOTFInfo(ctx, net, spec, rel, k)
 	return eq, err
@@ -144,7 +187,7 @@ func (c *Checker) CheckNetworkOTF(ctx context.Context, net *compose.Network, spe
 
 // CheckNetworkOTFInfo is CheckNetworkOTF with the route taken and the
 // game's exploration stats, for callers that report or assert on them
-// (the CLI, ccsbench E18, the early-exit tests).
+// (the CLI, ccsbench E18/E19, the early-exit tests).
 func (c *Checker) CheckNetworkOTFInfo(ctx context.Context, net *compose.Network, spec *fsp.FSP, rel Relation, k int) (eq bool, info OTFInfo, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -165,26 +208,40 @@ func (c *Checker) CheckNetworkOTFInfo(ctx context.Context, net *compose.Network,
 		if err != nil {
 			return false, info, err
 		}
-		if elig := otf.Eligible(minSpec, orel); elig != nil {
-			info.Fallback = elig.Error()
-		} else {
-			minNet, err := c.MinimizeNetwork(net, rel)
-			if err != nil {
-				return false, info, err
-			}
-			res, err := otf.Check(ctx, minNet, minSpec, orel, otf.Options{})
-			if err != nil {
-				return false, info, err
-			}
+		minNet, err := c.MinimizeNetwork(net, rel)
+		if err != nil {
+			return false, info, err
+		}
+		res, err := otf.Check(ctx, minNet, minSpec, orel, otf.Options{})
+		var undecided *otf.UndecidedError
+		var ineligible *otf.IneligibleError
+		switch {
+		case err == nil:
 			info.OnTheFly = true
+			info.Route = RouteOTF
+			if res.Determinized {
+				info.Route = RouteOTFDeterminized
+			}
 			info.Pairs = res.Pairs
 			info.Depth = res.Depth
+			info.SpecSubsets = res.SpecSubsets
 			if res.Counterexample != nil {
 				info.Counterexample = res.Counterexample.Trace
+				info.CounterexampleReason = res.Counterexample.Reason
 			}
 			return res.Equivalent, info, nil
+		case errors.As(err, &undecided):
+			// The determinized game met essential nondeterminism: an
+			// honest fallback, with the heterogeneous subset on record.
+			info.Fallback = undecided.Reason
+		case errors.As(err, &ineligible):
+			// Epsilon-tainted or empty specs never enter the game.
+			info.Fallback = ineligible.Error()
+		default:
+			return false, info, err
 		}
 	}
+	info.Route = RouteMTCFallback
 	eq, err = c.CheckNetwork(ctx, net, spec, rel, k)
 	return eq, info, err
 }

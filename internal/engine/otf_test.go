@@ -3,9 +3,11 @@ package engine
 import (
 	"context"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 
+	"ccs/internal/compose"
 	"ccs/internal/fsp"
 	"ccs/internal/gen"
 )
@@ -56,9 +58,10 @@ func TestCheckNetworkOTFAgainstCheckNetwork(t *testing.T) {
 	}
 }
 
-// TestCheckNetworkOTFGallery: every gallery exhibit has a deterministic
-// tau-free spec, so the game itself (no fallback) must reproduce the
-// expected verdicts.
+// TestCheckNetworkOTFGallery: every gallery exhibit is playable by the
+// game itself (no fallback) — the classic entries directly, the
+// nondet-spec family through the determinized subset route — and must
+// reproduce the expected verdicts.
 func TestCheckNetworkOTFGallery(t *testing.T) {
 	ctx := context.Background()
 	c := New()
@@ -68,15 +71,24 @@ func TestCheckNetworkOTFGallery(t *testing.T) {
 			t.Fatalf("%s: %v", entry.Name, err)
 		}
 		if !info.OnTheFly {
-			t.Errorf("%s: fell back (%s); gallery specs are eligible by construction", entry.Name, info.Fallback)
+			t.Errorf("%s: fell back (%s); gallery specs are playable by construction", entry.Name, info.Fallback)
+		}
+		if info.OnTheFly && info.Route != RouteOTF && info.Route != RouteOTFDeterminized {
+			t.Errorf("%s: on-the-fly verdict with route %q", entry.Name, info.Route)
+		}
+		if strings.HasSuffix(entry.Name, "-nondet-spec") && info.OnTheFly && info.Route != RouteOTFDeterminized {
+			t.Errorf("%s: want the determinized route, got %q", entry.Name, info.Route)
 		}
 		if got != entry.Weak {
 			t.Errorf("%s: OTF ≈ = %v, want %v", entry.Name, got, entry.Weak)
 		}
+		if !entry.Weak && info.OnTheFly && info.CounterexampleReason == "" {
+			t.Errorf("%s: inequivalent without a counterexample reason", entry.Name)
+		}
 		if !entry.Weak && len(info.Counterexample) == 0 && info.OnTheFly {
 			// The buggy exhibits need at least one action before the
 			// mismatch; an empty trace means the game blamed the root.
-			if entry.Name != "lossy-relay-3" {
+			if !strings.HasPrefix(entry.Name, "lossy-relay-3") {
 				t.Errorf("%s: inequivalent without a trace", entry.Name)
 			}
 		}
@@ -116,6 +128,119 @@ func TestCheckNetworkOTFEarlyExit(t *testing.T) {
 	}
 	t.Logf("flat product %d states; game stopped after %d pairs (depth %d), trace %v",
 		flatStates, info.Pairs, info.Depth, info.Counterexample)
+}
+
+// TestCheckNetworkOTFRoutes pins the route-reporting contract: a
+// deterministic spec goes "otf", a determinate nondeterministic spec
+// goes "otf-determinized", essential nondeterminism and uncovered
+// relations go "mtc-fallback" with the reason on record — never
+// silently.
+func TestCheckNetworkOTFRoutes(t *testing.T) {
+	ctx := context.Background()
+	c := New()
+	net := gen.TokenRing(3)
+
+	_, info, err := c.CheckNetworkOTFInfo(ctx, net, gen.TokenRingSpec(), Weak, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Route != RouteOTF || !info.OnTheFly {
+		t.Errorf("deterministic spec: route %q onTheFly %v, want %q", info.Route, info.OnTheFly, RouteOTF)
+	}
+
+	_, info, err = c.CheckNetworkOTFInfo(ctx, net, gen.NondetTokenRingSpec(), Weak, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Route != RouteOTFDeterminized || !info.OnTheFly {
+		t.Errorf("determinate nondet spec: route %q onTheFly %v, want %q", info.Route, info.OnTheFly, RouteOTFDeterminized)
+	}
+	if info.Fallback != "" {
+		t.Errorf("on-the-fly verdict carries fallback reason %q", info.Fallback)
+	}
+
+	// Essential nondeterminism: a.b + a.c as the spec of a network that
+	// actually performs "a" (a lazy game never builds subsets the
+	// product does not exercise). The game refuses, the engine falls
+	// back, and the reason is on record.
+	essential := fsp.NewBuilder("a.b+a.c")
+	essential.AddStates(5)
+	essential.ArcName(0, "a", 1)
+	essential.ArcName(0, "a", 2)
+	essential.ArcName(1, "b", 3)
+	essential.ArcName(2, "c", 4)
+	for s := 0; s < 5; s++ {
+		essential.Accept(fsp.State(s))
+	}
+	espec := essential.MustBuild()
+	branch := fsp.NewBuilder("a.(b+c)")
+	branch.AddStates(3)
+	branch.ArcName(0, "a", 1)
+	branch.ArcName(1, "b", 2)
+	branch.ArcName(1, "c", 2)
+	for s := 0; s < 3; s++ {
+		branch.Accept(fsp.State(s))
+	}
+	enet := compose.New("trap", branch.MustBuild())
+	got, info, err := c.CheckNetworkOTFInfo(ctx, enet, espec, Weak, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Route != RouteMTCFallback || info.OnTheFly {
+		t.Errorf("essential nondeterminism: route %q onTheFly %v, want %q", info.Route, info.OnTheFly, RouteMTCFallback)
+	}
+	if info.Fallback == "" {
+		t.Error("fallback without a reason")
+	}
+	want, err := c.CheckNetwork(ctx, enet, espec, Weak, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("fallback verdict %v disagrees with CheckNetwork %v", got, want)
+	}
+
+	_, info, err = c.CheckNetworkOTFInfo(ctx, net, gen.TokenRingSpec(), Trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Route != RouteMTCFallback || info.Fallback == "" {
+		t.Errorf("uncovered relation: route %q fallback %q", info.Route, info.Fallback)
+	}
+}
+
+// TestCheckNetworkOTFDeterminizedEarlyExit: the tentpole acceptance
+// property on the nondeterministic observer — a tau-bearing spec PR 4
+// rejected outright is decided on the fly, still under 10%% of the flat
+// product, with a visible counterexample.
+func TestCheckNetworkOTFDeterminizedEarlyExit(t *testing.T) {
+	const n = 8
+	net := gen.BuggyTokenRing(n)
+	idx, _, err := net.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatStates := idx.N()
+
+	c := New()
+	eq, info, err := c.CheckNetworkOTFInfo(context.Background(), net, gen.NondetTokenRingSpec(), Weak, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("buggy token ring accepted")
+	}
+	if info.Route != RouteOTFDeterminized {
+		t.Fatalf("route %q (fallback: %s), want %q", info.Route, info.Fallback, RouteOTFDeterminized)
+	}
+	if info.Pairs*10 >= flatStates {
+		t.Errorf("game visited %d pairs, flat product has %d states: want < 10%%", info.Pairs, flatStates)
+	}
+	if info.CounterexampleReason == "" || info.CounterexampleString() == "" {
+		t.Error("no distinguishing counterexample for the buggy ring")
+	}
+	t.Logf("flat product %d states; determinized game stopped after %d pairs (depth %d, %d subsets): %s",
+		flatStates, info.Pairs, info.Depth, info.SpecSubsets, info.CounterexampleString())
 }
 
 // TestCheckNetworkOTFConcurrent hammers one Checker with parallel OTF

@@ -128,3 +128,40 @@ func TestSaturateRejectsEpsilonCollision(t *testing.T) {
 		t.Error("expected error for alphabet containing the epsilon name")
 	}
 }
+
+// TestClosureSubsetRows: the exported subset-row helpers (RowWords,
+// OrClosureInto) agree with the materialized closure sets — they are the
+// substrate of internal/otf's determinized spec side.
+func TestClosureSubsetRows(t *testing.T) {
+	b := NewBuilder("rows")
+	b.AddStates(70) // spans two words
+	b.ArcName(0, TauName, 1)
+	b.ArcName(1, TauName, 65)
+	b.ArcName(65, TauName, 65) // self-loop: dropped by the closure rows
+	b.ArcName(2, "a", 3)
+	f := b.MustBuild()
+	clo := TauClosure(f)
+	if got := clo.RowWords(); got != 2 {
+		t.Fatalf("RowWords = %d, want 2", got)
+	}
+	row := make([]uint64, clo.RowWords())
+	clo.OrClosureInto(row, 0)
+	clo.OrClosureInto(row, 2) // singleton (nil-row) representation
+	want := map[State]bool{0: true, 1: true, 65: true, 2: true}
+	var members []State
+	for i, w := range row {
+		for bit := 0; bit < 64; bit++ {
+			if w&(1<<bit) != 0 {
+				members = append(members, State(i*64+bit))
+			}
+		}
+	}
+	if len(members) != len(want) {
+		t.Fatalf("row members %v, want the union of closures {0,1,65} ∪ {2}", members)
+	}
+	for _, m := range members {
+		if !want[m] {
+			t.Errorf("unexpected member %d", m)
+		}
+	}
+}

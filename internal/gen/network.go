@@ -210,12 +210,68 @@ func BuggyTokenRing(n int) *compose.Network {
 
 // TokenRingSpec is the token ring's specification: an endless stream of
 // "work" (one state, accepting, deterministic and tau-free — eligible for
-// the on-the-fly game).
+// the direct on-the-fly game).
 func TokenRingSpec() *fsp.FSP {
 	b := fsp.NewBuilder("work-loop")
 	b.AddStates(1)
 	b.ArcName(0, "work", 0)
 	b.Accept(0)
+	return b.MustBuild()
+}
+
+// NondetCounterSpec is a specification weakly equivalent to
+// CounterSpec(n) — the n-place buffer — written the way real specs often
+// are: nondeterministic and tau-bearing. Accepting a message either
+// lands directly on the next level or detours through a tau "settling"
+// state (a nondeterministic choice on "c0"), and the empty buffer idles
+// through a tau refresh loop. The direct on-the-fly game rejects such a
+// spec outright; the determinized subset game decides it, because the
+// nondeterminism is inessential — every derivative of a trace is weakly
+// equivalent (the spec is determinate), so every subset the game interns
+// is homogeneous.
+//
+// Layout: states 0..n are the levels, n+k is the settling twin of level
+// k (k = 1..n, reachable by "c0" from level k-1, tau to level k), and
+// 2n+1 is the idle refresh twin of level 0. All states accept.
+func NondetCounterSpec(n int) *fsp.FSP {
+	b := fsp.NewBuilder(fmt.Sprintf("nondet-counter-%d", n))
+	b.AddStates(2*n + 2)
+	in := "c0"
+	out := fmt.Sprintf("c%d'", n)
+	settle := func(k int) fsp.State { return fsp.State(n + k) }
+	idle := fsp.State(2*n + 1)
+	for k := 0; k < n; k++ {
+		b.ArcName(fsp.State(k), in, fsp.State(k+1))
+		b.ArcName(fsp.State(k), in, settle(k+1)) // nondeterministic twin
+		b.ArcName(settle(k+1), fsp.TauName, fsp.State(k+1))
+	}
+	for k := 1; k <= n; k++ {
+		b.ArcName(fsp.State(k), out, fsp.State(k-1))
+	}
+	b.ArcName(0, fsp.TauName, idle)
+	b.ArcName(idle, fsp.TauName, 0)
+	for s := 0; s < 2*n+2; s++ {
+		b.Accept(fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
+// NondetTokenRingSpec is TokenRingSpec as a nondeterministic observer:
+// "work" either stays put or detours through a tau settling state, and
+// the base idles through a tau refresh loop. Weakly equivalent to
+// TokenRingSpec and determinate, so the determinized on-the-fly game
+// decides it where the direct game refuses.
+func NondetTokenRingSpec() *fsp.FSP {
+	b := fsp.NewBuilder("nondet-work-loop")
+	b.AddStates(3) // 0: base, 1: settling, 2: refresh twin
+	b.ArcName(0, "work", 0)
+	b.ArcName(0, "work", 1) // nondeterministic twin
+	b.ArcName(1, fsp.TauName, 0)
+	b.ArcName(0, fsp.TauName, 2)
+	b.ArcName(2, fsp.TauName, 0)
+	for s := 0; s < 3; s++ {
+		b.Accept(fsp.State(s))
+	}
 	return b.MustBuild()
 }
 
@@ -263,6 +319,38 @@ func NetworkGallery() []NetworkGalleryEntry {
 		Spec:        TokenRingSpec(),
 		Weak:        false,
 		Description: "a token-dropping station silences the ring forever",
+	})
+	// The nondeterministic-spec family: the same networks against
+	// tau-bearing, nondeterministic (but determinate) observers, which
+	// the direct on-the-fly game rejects and the determinized subset
+	// game decides.
+	out = append(out, NetworkGalleryEntry{
+		Name:        "relay-3-nondet-spec",
+		Net:         RelayNetwork(3, 2),
+		Spec:        NondetCounterSpec(3),
+		Weak:        true,
+		Description: "the buffer law against a nondeterministic buffer spec",
+	})
+	out = append(out, NetworkGalleryEntry{
+		Name:        "lossy-relay-3-nondet-spec",
+		Net:         LossyRelayNetwork(3, 2),
+		Spec:        NondetCounterSpec(3),
+		Weak:        false,
+		Description: "a dropping stage caught by a nondeterministic spec",
+	})
+	out = append(out, NetworkGalleryEntry{
+		Name:        "token-ring-6-nondet-spec",
+		Net:         TokenRing(6),
+		Spec:        NondetTokenRingSpec(),
+		Weak:        true,
+		Description: "the ring against a nondeterministic work observer",
+	})
+	out = append(out, NetworkGalleryEntry{
+		Name:        "buggy-token-ring-6-nondet-spec",
+		Net:         BuggyTokenRing(6),
+		Spec:        NondetTokenRingSpec(),
+		Weak:        false,
+		Description: "the dropped token caught by a nondeterministic observer",
 	})
 	return out
 }

@@ -6,6 +6,7 @@ import (
 
 	"ccs/internal/core"
 	"ccs/internal/engine"
+	"ccs/internal/fsp"
 )
 
 // TestBufferLaw is the gallery's headline property, checked both flat and
@@ -59,5 +60,52 @@ func TestRelayCollapse(t *testing.T) {
 	}
 	if cellMin.NumStates() != 2 {
 		t.Errorf("BufferCell(3)/≈ has %d states, want 2", cellMin.NumStates())
+	}
+}
+
+// TestNondetSpecsFaithful: the nondeterministic spec family is weakly
+// equivalent to its deterministic counterparts — the nondeterminism and
+// the tau detours are deliberately inessential — while being genuinely
+// nondeterministic and tau-bearing (what the direct on-the-fly game
+// refuses and the determinized game absorbs).
+func TestNondetSpecsFaithful(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		eq, err := core.WeakEquivalent(NondetCounterSpec(n), CounterSpec(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("NondetCounterSpec(%d) ≉ CounterSpec(%d)", n, n)
+		}
+	}
+	eq, err := core.WeakEquivalent(NondetTokenRingSpec(), TokenRingSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("NondetTokenRingSpec ≉ TokenRingSpec")
+	}
+	for _, spec := range []struct {
+		name string
+		f    *fsp.FSP
+	}{
+		{"NondetCounterSpec(3)", NondetCounterSpec(3)},
+		{"NondetTokenRingSpec", NondetTokenRingSpec()},
+	} {
+		tau, nondet := false, false
+		for s := 0; s < spec.f.NumStates(); s++ {
+			arcs := spec.f.Arcs(fsp.State(s))
+			for i, a := range arcs {
+				if a.Act == fsp.Tau {
+					tau = true
+				}
+				if i > 0 && arcs[i-1].Act == a.Act {
+					nondet = true
+				}
+			}
+		}
+		if !tau || !nondet {
+			t.Errorf("%s: tau=%v nondet=%v; the family must exercise both defects", spec.name, tau, nondet)
+		}
 	}
 }

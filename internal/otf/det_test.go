@@ -1,0 +1,482 @@
+package otf
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ccs/internal/compose"
+	"ccs/internal/core"
+	"ccs/internal/fsp"
+	"ccs/internal/gen"
+)
+
+// checkDet is checkBoth plus the determinized-mode assertions: the spec
+// must actually have gone through the subset construction.
+func checkDet(t *testing.T, net *compose.Network, spec *fsp.FSP, rel Rel) *Result {
+	t.Helper()
+	res := checkBoth(t, net, spec, rel)
+	if !res.Determinized {
+		t.Fatalf("spec %s played the direct game; the test wants the determinized route", spec)
+	}
+	if res.SpecSubsets == 0 {
+		t.Error("determinized run interned no spec subsets")
+	}
+	return res
+}
+
+// TestDeterminizedGallery: the nondeterministic, tau-bearing gallery
+// specs — which Eligible rejects — are decided by the subset game on the
+// raw (unminimized) networks, with the right verdicts.
+func TestDeterminizedGallery(t *testing.T) {
+	for _, spec := range []*fsp.FSP{gen.NondetCounterSpec(3), gen.NondetTokenRingSpec()} {
+		if err := Eligible(spec, Weak); err == nil {
+			t.Fatalf("%s is direct-eligible; it must exercise the determinized game", spec)
+		}
+	}
+	if res := checkDet(t, gen.RelayNetwork(3, 2), gen.NondetCounterSpec(3), Weak); !res.Equivalent {
+		t.Errorf("relay-3 vs nondet counter rejected: %v", res.Counterexample)
+	}
+	res := checkDet(t, gen.LossyRelayNetwork(3, 2), gen.NondetCounterSpec(3), Weak)
+	if res.Equivalent {
+		t.Error("lossy relay accepted by the nondet counter spec")
+	}
+	if res.Counterexample == nil || res.Counterexample.Reason == "" {
+		t.Error("inequivalent verdict without a counterexample")
+	}
+	if res := checkDet(t, gen.TokenRing(4), gen.NondetTokenRingSpec(), Weak); !res.Equivalent {
+		t.Errorf("token-ring-4 vs nondet observer rejected: %v", res.Counterexample)
+	}
+	res = checkDet(t, gen.BuggyTokenRing(4), gen.NondetTokenRingSpec(), Weak)
+	if res.Equivalent {
+		t.Error("buggy token ring accepted by the nondet observer")
+	}
+	if res.Counterexample == nil || len(res.Counterexample.Trace) == 0 {
+		t.Error("buggy ring counterexample lost its trace")
+	}
+}
+
+// TestDeterminizedEarlyExit: the early-exit property survives the subset
+// construction — the buggy ring against the nondeterministic observer is
+// decided while interning fewer pairs than the flat product has states.
+func TestDeterminizedEarlyExit(t *testing.T) {
+	const n = 6
+	net := gen.BuggyTokenRing(n)
+	idx, _, err := net.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkDet(t, net, gen.NondetTokenRingSpec(), Weak)
+	if res.Equivalent {
+		t.Fatal("buggy ring accepted")
+	}
+	if res.Pairs >= idx.N() {
+		t.Errorf("determinized game interned %d pairs, flat product has only %d states — no early exit", res.Pairs, idx.N())
+	}
+}
+
+// TestEssentialNondeterminismUndecided: a.b + a.c is not determinate —
+// the two a-derivatives are inequivalent — so the subset game must
+// refuse to decide it (an UndecidedError naming the subset), never
+// render a verdict. The classic trap: a.(b+c) is trace-equivalent but
+// NOT weakly equivalent to a.b + a.c, and a naive subset game would
+// accept it.
+func TestEssentialNondeterminismUndecided(t *testing.T) {
+	spec := fsp.NewBuilder("a.b+a.c")
+	spec.AddStates(5)
+	spec.ArcName(0, "a", 1)
+	spec.ArcName(0, "a", 2)
+	spec.ArcName(1, "b", 3)
+	spec.ArcName(2, "c", 4)
+	for s := 0; s < 5; s++ {
+		spec.Accept(fsp.State(s))
+	}
+	p := fsp.NewBuilder("a.(b+c)")
+	p.AddStates(3)
+	p.ArcName(0, "a", 1)
+	p.ArcName(1, "b", 2)
+	p.ArcName(1, "c", 2)
+	for s := 0; s < 3; s++ {
+		p.Accept(fsp.State(s))
+	}
+	_, err := Check(bg, compose.New("trap", p.MustBuild()), spec.MustBuild(), Weak, Options{Workers: 1})
+	var und *UndecidedError
+	if !errors.As(err, &und) {
+		t.Fatalf("want UndecidedError, got %v", err)
+	}
+	if !strings.Contains(und.Reason, "subset") {
+		t.Errorf("undecided reason does not name the subset: %q", und.Reason)
+	}
+}
+
+// TestDeadSubsetBranch: confluent choice whose branches are distinct but
+// equivalent states (a "dead" duplicate branch) stays decidable, both on
+// the accepting and the rejecting side.
+func TestDeadSubsetBranch(t *testing.T) {
+	spec := fsp.NewBuilder("a.(b-loop) twice")
+	spec.AddStates(3)
+	spec.ArcName(0, "a", 1)
+	spec.ArcName(0, "a", 2) // dead duplicate: state 2 ≈ state 1
+	spec.ArcName(1, "b", 1)
+	spec.ArcName(2, "b", 2)
+	for s := 0; s < 3; s++ {
+		spec.Accept(fsp.State(s))
+	}
+	s := spec.MustBuild()
+
+	good := fsp.NewBuilder("a.b-loop")
+	good.AddStates(2)
+	good.ArcName(0, "a", 1)
+	good.ArcName(1, "b", 1)
+	good.Accept(0)
+	good.Accept(1)
+	if res := checkDet(t, compose.New("good", good.MustBuild()), s, Weak); !res.Equivalent {
+		t.Errorf("confluent duplicate branch rejected: %v", res.Counterexample)
+	}
+
+	bad := fsp.NewBuilder("a.stop")
+	bad.AddStates(2)
+	bad.ArcName(0, "a", 1)
+	bad.Accept(0)
+	bad.Accept(1)
+	res := checkDet(t, compose.New("bad", bad.MustBuild()), s, Weak)
+	if res.Equivalent {
+		t.Error("a.stop accepted against a.(b-loop)")
+	}
+	if res.Counterexample == nil || !strings.Contains(res.Counterexample.Reason, "subset") {
+		t.Errorf("counterexample does not name the spec subset: %v", res.Counterexample)
+	}
+}
+
+// tauWork builds the process tau.(work-loop).
+func tauWork() *fsp.FSP {
+	b := fsp.NewBuilder("tau-work")
+	b.AddStates(2)
+	b.ArcName(0, fsp.TauName, 1)
+	b.ArcName(1, "work", 1)
+	b.Accept(0)
+	b.Accept(1)
+	return b.MustBuild()
+}
+
+// TestDeterminizedCongruenceRoot: the ≈ᶜ root condition generalized to
+// tau-bearing specs, in both directions. tau.work ≈ work but not ≈ᶜ —
+// whichever side carries the initial tau.
+func TestDeterminizedCongruenceRoot(t *testing.T) {
+	spec := tauWork() // tau-bearing: rejected by Eligible, determinized by Check
+	if err := Eligible(spec, Congruence); err == nil {
+		t.Fatal("tau-bearing spec is direct-eligible")
+	}
+
+	// Same process on both sides: ≈ᶜ holds, the root taus answer each
+	// other.
+	if res := checkDet(t, compose.New("same", tauWork()), spec, Congruence); !res.Equivalent {
+		t.Errorf("tau.work ≈ᶜ tau.work rejected: %v", res.Counterexample)
+	}
+
+	// Network without the initial tau: still ≈, no longer ≈ᶜ — the
+	// spec's root tau has no product tau to answer it.
+	work := gen.TokenRingSpec()
+	if res := checkDet(t, compose.New("bare", work), spec, Weak); !res.Equivalent {
+		t.Errorf("work ≈ tau.work rejected: %v", res.Counterexample)
+	}
+	res := checkDet(t, compose.New("bare", work), spec, Congruence)
+	if res.Equivalent {
+		t.Error("work ≈ᶜ tau.work accepted; the spec-side root condition was lost")
+	}
+
+	// Network with the initial tau against the tau-bearing spec of the
+	// same shape, minus the work loop reachability: product root tau is
+	// answered by the spec's =tau=>+ subset.
+	if res := checkDet(t, compose.New("tau-first", tauWork()), spec, Weak); !res.Equivalent {
+		t.Errorf("tau.work ≈ tau.work rejected: %v", res.Counterexample)
+	}
+}
+
+// TestDeterminizedStrong: the strong game determinizes too — subsets
+// without tau-closure, homogeneity against the ~ partition.
+func TestDeterminizedStrong(t *testing.T) {
+	confluent := fsp.NewBuilder("strong-confluent")
+	confluent.AddStates(3)
+	confluent.ArcName(0, "a", 1)
+	confluent.ArcName(0, "a", 2) // 1 ~ 2: both b-loops
+	confluent.ArcName(1, "b", 1)
+	confluent.ArcName(2, "b", 2)
+	for s := 0; s < 3; s++ {
+		confluent.Accept(fsp.State(s))
+	}
+	p := fsp.NewBuilder("a.b-loop")
+	p.AddStates(2)
+	p.ArcName(0, "a", 1)
+	p.ArcName(1, "b", 1)
+	p.Accept(0)
+	p.Accept(1)
+	net := compose.New("strong", p.MustBuild())
+	if res := checkDet(t, net, confluent.MustBuild(), Strong); !res.Equivalent {
+		t.Errorf("confluent strong spec rejected: %v", res.Counterexample)
+	}
+
+	essential := fsp.NewBuilder("strong-essential")
+	essential.AddStates(3)
+	essential.ArcName(0, "a", 1)
+	essential.ArcName(0, "a", 2) // 1 ≁ 2: a b-loop vs a dead end
+	essential.ArcName(1, "b", 1)
+	for s := 0; s < 3; s++ {
+		essential.Accept(fsp.State(s))
+	}
+	_, err := Check(bg, net, essential.MustBuild(), Strong, Options{Workers: 1})
+	var und *UndecidedError
+	if !errors.As(err, &und) {
+		t.Fatalf("essential strong nondeterminism: want UndecidedError, got %v", err)
+	}
+}
+
+// fluffWeak returns a nondeterministic, tau-bearing process weakly
+// equivalent to the (tau-free deterministic) f and determinate by
+// construction: every arc may gain a twin through a fresh tau "settling"
+// state equivalent to its target, and every state may gain a tau refresh
+// twin. At least one defect is always inserted so Eligible must reject
+// the result.
+func fluffWeak(rng *rand.Rand, f *fsp.FSP) *fsp.FSP {
+	b := fsp.NewBuilder(f.Name() + "-fluffed")
+	n := f.NumStates()
+	b.AddStates(n)
+	copyExt := func(dst fsp.State, src fsp.State) {
+		for _, id := range f.Ext(src).IDs() {
+			b.Extend(dst, f.Vars().Name(id))
+		}
+	}
+	for s := 0; s < n; s++ {
+		copyExt(fsp.State(s), fsp.State(s))
+	}
+	b.SetStart(f.Start())
+	fluffed := 0
+	for s := 0; s < n; s++ {
+		for _, a := range f.Arcs(fsp.State(s)) {
+			name := f.Alphabet().Name(a.Act)
+			b.ArcName(fsp.State(s), name, a.To)
+			if rng.Intn(2) == 0 {
+				settle := b.AddState()
+				copyExt(settle, a.To)
+				b.ArcName(fsp.State(s), name, settle)
+				b.ArcName(settle, fsp.TauName, a.To)
+				fluffed++
+			}
+		}
+		if rng.Intn(3) == 0 {
+			twin := b.AddState()
+			copyExt(twin, fsp.State(s))
+			b.ArcName(fsp.State(s), fsp.TauName, twin)
+			b.ArcName(twin, fsp.TauName, fsp.State(s))
+			fluffed++
+		}
+	}
+	if fluffed == 0 {
+		twin := b.AddState()
+		copyExt(twin, f.Start())
+		b.ArcName(f.Start(), fsp.TauName, twin)
+		b.ArcName(twin, fsp.TauName, f.Start())
+	}
+	return b.MustBuild()
+}
+
+// TestDifferentialDeterminizedWeak cross-validates the determinized weak
+// and congruence games against the flat saturate-and-partition deciders
+// on random networks with fluffed (nondeterministic, tau-bearing,
+// determinate) specs. None of these runs may come back undecided — the
+// fluff is inessential by construction.
+func TestDifferentialDeterminizedWeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ran := 0
+	for i := 0; i < 40; i++ {
+		net := gen.RandomNetwork(rng)
+		flat, err := net.FSP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := fluffWeak(rng, gen.RandomDeterministic(rng, 1+rng.Intn(4), 2))
+		if Eligible(spec, Weak) == nil {
+			t.Fatalf("fluffed spec %d is direct-eligible", i)
+		}
+		wantWeak, err := core.WeakEquivalent(flat, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := checkBoth(t, net, spec, Weak)
+		if !res.Determinized {
+			t.Fatalf("net %d: fluffed spec played the direct game", i)
+		}
+		if res.Equivalent != wantWeak {
+			t.Fatalf("net %d (%s) weak vs %s: otf=%v flat=%v\ncounterexample: %v",
+				i, net, spec, res.Equivalent, wantWeak, res.Counterexample)
+		}
+		wantCong, err := core.ObservationCongruent(flat, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := checkBoth(t, net, spec, Congruence); res.Equivalent != wantCong {
+			t.Fatalf("net %d congruence vs %s: otf=%v flat=%v", i, spec, res.Equivalent, wantCong)
+		}
+		ran++
+	}
+	if ran < 30 {
+		t.Fatalf("only %d determinized differential cases ran", ran)
+	}
+}
+
+// fluffStrong duplicates f wholesale — states n..2n-1 mirror 0..n-1 —
+// and redirects random arcs to the mirror copy, so every subset the
+// strong game builds is {s, s+n} with s ~ s+n: strongly determinate
+// nondeterminism.
+func fluffStrong(rng *rand.Rand, f *fsp.FSP) *fsp.FSP {
+	b := fsp.NewBuilder(f.Name() + "-mirrored")
+	n := f.NumStates()
+	b.AddStates(2 * n)
+	for s := 0; s < n; s++ {
+		for _, id := range f.Ext(fsp.State(s)).IDs() {
+			b.Extend(fsp.State(s), f.Vars().Name(id))
+			b.Extend(fsp.State(s+n), f.Vars().Name(id))
+		}
+	}
+	b.SetStart(f.Start())
+	added := 0
+	for s := 0; s < n; s++ {
+		for _, a := range f.Arcs(fsp.State(s)) {
+			name := f.Alphabet().Name(a.Act)
+			b.ArcName(fsp.State(s), name, a.To)
+			b.ArcName(fsp.State(s+n), name, a.To)
+			if rng.Intn(2) == 0 {
+				b.ArcName(fsp.State(s), name, a.To+fsp.State(n))
+				added++
+			}
+		}
+	}
+	if added == 0 && f.NumTransitions() > 0 {
+		a := f.Arcs(f.Start())[0]
+		b.ArcName(f.Start(), f.Alphabet().Name(a.Act), a.To+fsp.State(n))
+	}
+	return b.MustBuild()
+}
+
+// TestDifferentialDeterminizedStrong: same harness for the strong game.
+func TestDifferentialDeterminizedStrong(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	ran := 0
+	for i := 0; i < 40; i++ {
+		net := gen.RandomNetwork(rng)
+		flat, err := net.FSP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := fluffStrong(rng, gen.RandomDeterministic(rng, 1+rng.Intn(4), 2))
+		if Eligible(spec, Strong) == nil {
+			continue // the mirror redirect may happen to dedup away
+		}
+		want, err := core.StrongEquivalent(flat, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := checkBoth(t, net, spec, Strong)
+		if !res.Determinized {
+			t.Fatalf("net %d: mirrored spec played the direct game", i)
+		}
+		if res.Equivalent != want {
+			t.Fatalf("net %d strong vs %s: otf=%v flat=%v", i, spec, res.Equivalent, want)
+		}
+		ran++
+	}
+	if ran < 25 {
+		t.Fatalf("only %d determinized strong cases ran", ran)
+	}
+}
+
+// TestEligibleAggregates: Eligible reports every defect (capped), typed,
+// with the never-playable cases marked fatal.
+func TestEligibleAggregates(t *testing.T) {
+	b := fsp.NewBuilder("many-defects")
+	b.AddStates(4)
+	b.ArcName(0, fsp.TauName, 1)
+	b.ArcName(1, "a", 2)
+	b.ArcName(1, "a", 3)
+	b.ArcName(2, fsp.TauName, 3)
+	err := Eligible(b.MustBuild(), Weak)
+	var ie *IneligibleError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *IneligibleError, got %T", err)
+	}
+	if ie.Total != 3 || len(ie.Violations) != 3 {
+		t.Errorf("want 3 violations (two taus, one nondeterminism), got %d listed, total %d: %v", len(ie.Violations), ie.Total, ie.Violations)
+	}
+	if !ie.Determinizable() {
+		t.Error("tau/nondeterminism defects must stay determinizable")
+	}
+	kinds := map[ViolationKind]int{}
+	for _, v := range ie.Violations {
+		kinds[v.Kind]++
+	}
+	if kinds[ViolationTau] != 2 || kinds[ViolationNondeterminism] != 1 {
+		t.Errorf("violation kinds off: %v", ie.Violations)
+	}
+
+	// The cap: more defects than MaxViolations keeps Total exact.
+	wide := fsp.NewBuilder("wide")
+	wide.AddStates(MaxViolations + 4)
+	for s := 0; s < MaxViolations+3; s++ {
+		wide.ArcName(fsp.State(s), fsp.TauName, fsp.State(s+1))
+	}
+	err = Eligible(wide.MustBuild(), Weak)
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *IneligibleError, got %T", err)
+	}
+	if len(ie.Violations) != MaxViolations || ie.Total != MaxViolations+3 {
+		t.Errorf("cap broken: %d listed, total %d", len(ie.Violations), ie.Total)
+	}
+
+	// Epsilon-tainted specs are fatal: no determinization can play them.
+	eps := fsp.NewBuilder("eps")
+	eps.AddStates(2)
+	eps.ArcName(0, fsp.EpsilonName, 1)
+	if !errors.As(Eligible(eps.MustBuild(), Weak), &ie) || ie.Determinizable() {
+		t.Error("epsilon-tainted spec must be fatal")
+	}
+	if !errors.As(Eligible(nil, Weak), &ie) || ie.Determinizable() {
+		t.Error("nil spec must be fatal")
+	}
+}
+
+// TestUndecidedNotCached: after an undecided run the same session state
+// must not leak into a fresh Check of a decidable query (sessions are
+// per-call; this is a regression guard on the package API).
+func TestUndecidedNotCached(t *testing.T) {
+	net := compose.New("ring", gen.TokenRingSpec())
+	spec := gen.NondetTokenRingSpec()
+	if res := checkDet(t, net, spec, Weak); !res.Equivalent {
+		t.Fatalf("work loop vs nondet observer rejected: %v", res.Counterexample)
+	}
+}
+
+// TestEligibleDedupsViolations: a heavily nondeterministic state counts
+// once per (state, action), not once per extra arc — the cap is spent on
+// distinct defects, which is the whole point of aggregating.
+func TestEligibleDedupsViolations(t *testing.T) {
+	b := fsp.NewBuilder("fanout")
+	b.AddStates(12)
+	for to := 1; to <= 9; to++ {
+		b.ArcName(0, "a", fsp.State(to)) // one defect, nine arcs
+	}
+	b.ArcName(10, fsp.TauName, 0)
+	b.ArcName(10, fsp.TauName, 11) // tau state: one ViolationTau, no nondet double-report
+	err := Eligible(b.MustBuild(), Weak)
+	var ie *IneligibleError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *IneligibleError, got %T", err)
+	}
+	if ie.Total != 2 || len(ie.Violations) != 2 {
+		t.Fatalf("want exactly 2 violations (nondet on a at 0, tau at 10), got total %d: %v", ie.Total, ie.Violations)
+	}
+	// For the strong game the same tau fan-out IS the nondeterminism.
+	if !errors.As(Eligible(b.MustBuild(), Strong), &ie) || ie.Total != 2 {
+		t.Errorf("strong game: want 2 violations (nondet on a, nondet on tau), got %+v", ie)
+	}
+}

@@ -7,22 +7,40 @@
 //
 // The game. Successor tuples are drawn directly from the network's
 // compose.Expansion — the per-component dense-label transition tables the
-// materializing explorer runs on — and paired with states of the spec.
-// The spec must be action-deterministic (and tau-free for the weak
-// relations); Eligible reports whether a given spec qualifies. Under that
-// restriction every move of the network forces a unique answering move of
-// the spec, so the greatest bisimulation containing the start pair is
-// reachable by plain BFS over forced pairs and equivalence reduces to a
-// per-pair local check:
+// materializing explorer runs on — and paired with the states of a
+// deterministic view of the spec. When the spec is action-deterministic
+// (and tau-free for the weak relations) that view is the spec itself;
+// otherwise the spec side is determinized lazily by the subset
+// construction (Fernandez–Mounier style): spec "states" become
+// hash-consed tau-closed subsets built on demand from closure rows and
+// action-successor unions, and the visited table interns (product vector,
+// subset id) pairs. Either way every move of the network forces a unique
+// answering move of the spec side, so the greatest bisimulation
+// containing the start pair is reachable by plain BFS over forced pairs
+// and equivalence reduces to a per-pair local check:
 //
 //   - the pair's extensions must agree (the initial-partition condition
 //     of Lemma 3.1, checked pointwise);
 //   - every product transition must be answered by the spec: observables
-//     through the spec's transition function, taus by the spec standing
-//     still (weak game) or by a matching spec tau (strong game);
-//   - every action the spec enables must be (weakly) enabled in the
+//     through the (determinized) transition function, taus by the spec
+//     standing still (weak game) or by a matching spec tau (strong game);
+//   - every action the spec side enables must be (weakly) enabled in the
 //     product — for the weak game this walks the product's tau-closure
 //     lazily, stopping as soon as the obligations are met.
+//
+// Soundness of the determinized game. Determinization preserves traces,
+// not bisimilarity, so the subset game carries a side condition: every
+// subset it touches must be homogeneous — all members weakly equivalent
+// as states of the spec (strongly, for the strong game), checked against
+// a partition of the small spec computed up front. On homogeneous
+// subsets a member is interchangeable with any other and the forced
+// subset answer is as good as any nondeterministic answer, so the game
+// decides exactly the chosen relation (the spec is determinate along
+// every explored trace, in Milner's sense). The moment a subset mixes
+// inequivalent states the spec's nondeterminism is essential, neither
+// verdict would be sound, and Check returns an *UndecidedError instead
+// of guessing — callers (engine.CheckNetworkOTF) fall back to
+// minimize-then-compose, recording the reason.
 //
 // The first pair failing a check is a distinguishing state: the game
 // stops immediately and reports the verdict with a diagnostic trace from
@@ -36,11 +54,12 @@
 // merged into the next frontier at the level barrier), and the first
 // mismatch wins via an atomic flag.
 //
-// Soundness mirrors engine.CheckNetwork: callers pass the network with
-// components already quotiented by a congruence for the relation (engine
-// does this through its artifact cache), which shrinks the pair space but
-// never changes the verdict. See engine.CheckNetworkOTF for the wiring
-// and the fallback to minimize-then-compose when the spec is ineligible.
+// Soundness of the quotient wiring mirrors engine.CheckNetwork: callers
+// pass the network with components already quotiented by a congruence
+// for the relation (engine does this through its artifact cache), which
+// shrinks the pair space but never changes the verdict. See
+// engine.CheckNetworkOTF for the wiring and the fallback to
+// minimize-then-compose when the game genuinely cannot play.
 package otf
 
 import (
@@ -68,8 +87,8 @@ const (
 	// Weak is observational equivalence ≈ (Definition 2.2.1).
 	Weak
 	// Congruence is observation congruence ≈ᶜ: the weak game with the
-	// root condition — an initial tau of the product cannot be answered
-	// by a tau-free spec, so it is a mismatch at the start pair.
+	// root condition — an initial tau of the product must be answered by
+	// a spec =tau=>+ move and vice versa, checked at the start pair.
 	Congruence
 )
 
@@ -119,61 +138,272 @@ type Result struct {
 	Pairs int
 	// Depth is the number of BFS levels explored.
 	Depth int
+	// Determinized reports that the spec was not action-deterministic
+	// (or not tau-free, for the weak relations) and the game ran on its
+	// lazily determinized subset view.
+	Determinized bool
+	// SpecSubsets is the number of distinct spec subsets interned by the
+	// determinized game (0 when Determinized is false) — the lazy
+	// analogue of the subset-construction state count.
+	SpecSubsets int
 	// Counterexample describes the first mismatch; nil when equivalent.
 	Counterexample *Counterexample
 }
 
+// ViolationKind classifies one way a spec fails Eligible.
+type ViolationKind int
+
+const (
+	// ViolationTau is a tau transition in a spec for a weak-family game
+	// (the strong game treats tau as an ordinary deterministic label).
+	// The determinized game absorbs it into tau-closed subsets.
+	ViolationTau ViolationKind = iota + 1
+	// ViolationNondeterminism is a state with two transitions on the
+	// same action. The determinized game absorbs it into subsets.
+	ViolationNondeterminism
+	// ViolationEpsilon is a transition on the saturation epsilon, which
+	// is not a CCS action: no game can play such a spec.
+	ViolationEpsilon
+	// ViolationEmpty is a nil or zero-state spec.
+	ViolationEmpty
+)
+
+// Violation is one spec defect found by Eligible, located so users can
+// repair the spec.
+type Violation struct {
+	// State is the offending spec state (0 for ViolationEmpty).
+	State int
+	// Action is the offending action name ("" when not applicable).
+	Action string
+	Kind   ViolationKind
+}
+
+func (v Violation) String() string {
+	switch v.Kind {
+	case ViolationTau:
+		return fmt.Sprintf("state %d has a tau transition", v.State)
+	case ViolationNondeterminism:
+		return fmt.Sprintf("state %d is nondeterministic on %q", v.State, v.Action)
+	case ViolationEpsilon:
+		return fmt.Sprintf("state %d transitions on the saturation epsilon %q", v.State, fsp.EpsilonName)
+	case ViolationEmpty:
+		return "spec has no states"
+	default:
+		return fmt.Sprintf("unknown violation at state %d", v.State)
+	}
+}
+
+// MaxViolations caps the violations an IneligibleError carries; Total
+// still counts them all.
+const MaxViolations = 8
+
+// IneligibleError reports every way (capped at MaxViolations) a spec
+// fails the direct deterministic game, so users can repair the spec in
+// one pass instead of one error at a time.
+type IneligibleError struct {
+	// Rel is the game the spec was tested for.
+	Rel Rel
+	// Violations lists the first MaxViolations defects in state order.
+	Violations []Violation
+	// Total is the uncapped defect count.
+	Total int
+	// Fatal is true when the spec can never enter the game at all, even
+	// determinized: it is empty or transitions on the saturation
+	// epsilon. False means every violation is a tau arc or plain
+	// nondeterminism, which the determinized subset game absorbs.
+	Fatal bool
+}
+
+// Determinizable reports whether the lazy subset construction can lift
+// the spec into the game regardless of these violations.
+func (e *IneligibleError) Determinizable() bool { return !e.Fatal }
+
+func (e *IneligibleError) Error() string {
+	msgs := make([]string, len(e.Violations))
+	for i, v := range e.Violations {
+		msgs[i] = v.String()
+	}
+	more := ""
+	if e.Total > len(e.Violations) {
+		more = fmt.Sprintf(" (and %d more)", e.Total-len(e.Violations))
+	}
+	return fmt.Sprintf("otf: spec ineligible for the direct %s game: %s%s", e.Rel, strings.Join(msgs, "; "), more)
+}
+
+// UndecidedError reports that the determinized game met essential
+// nondeterminism: a reachable spec subset mixes states that are not
+// equivalent to each other, so the forced subset answer is not
+// interchangeable with the spec's nondeterministic choices and neither
+// verdict would be sound. The game refuses to guess; callers should fall
+// back to a solver that plays full nondeterminism (minimize-then-compose
+// in engine.CheckNetworkOTF).
+type UndecidedError struct {
+	// Reason describes the heterogeneous subset.
+	Reason string
+}
+
+func (e *UndecidedError) Error() string {
+	return "otf: game undecided: " + e.Reason
+}
+
 // Eligible reports whether spec can serve as the deterministic side of
-// the on-the-fly game for rel: action-deterministic everywhere, tau-free
-// unless the game is strong, and free of the saturation epsilon. A nil
-// error means Check will not fall over the spec's shape.
+// the direct on-the-fly game for rel: action-deterministic everywhere,
+// tau-free unless the game is strong, and free of the saturation
+// epsilon. A nil error means Check plays the spec directly; a non-nil
+// error is always an *IneligibleError aggregating every violation
+// (capped at MaxViolations) — if its Determinizable method reports true,
+// Check still plays the spec through the lazy subset construction.
 func Eligible(spec *fsp.FSP, rel Rel) error {
 	if spec == nil || spec.NumStates() == 0 {
-		return errors.New("otf: spec has no states")
+		return &IneligibleError{Rel: rel, Violations: []Violation{{Kind: ViolationEmpty}}, Total: 1, Fatal: true}
+	}
+	e := &IneligibleError{Rel: rel}
+	add := func(v Violation) {
+		e.Total++
+		if len(e.Violations) < MaxViolations {
+			e.Violations = append(e.Violations, v)
+		}
 	}
 	for s := 0; s < spec.NumStates(); s++ {
 		arcs := spec.Arcs(fsp.State(s))
+		sawTau := false
 		for i, a := range arcs {
-			if a.Act == fsp.Tau && rel != Strong {
-				return fmt.Errorf("otf: spec state %d has a tau transition; the %s game needs a tau-free deterministic spec", s, rel)
+			// One tau violation per state, however many tau arcs it has —
+			// duplicates would burn the cap and hide distinct defects.
+			if a.Act == fsp.Tau && rel != Strong && !sawTau {
+				sawTau = true
+				add(Violation{State: s, Kind: ViolationTau})
 			}
 			if spec.Alphabet().Name(a.Act) == fsp.EpsilonName {
-				return fmt.Errorf("otf: spec transitions on the saturation epsilon %q", fsp.EpsilonName)
+				add(Violation{State: s, Action: fsp.EpsilonName, Kind: ViolationEpsilon})
+				e.Fatal = true
 			}
 			// Arcs are (action, target)-sorted and deduplicated, so a
-			// repeated action means two distinct targets.
-			if i > 0 && arcs[i-1].Act == a.Act {
-				return fmt.Errorf("otf: spec state %d is nondeterministic on %q", s, spec.Alphabet().Name(a.Act))
+			// repeated action means two distinct targets. Report each
+			// (state, action) once — at the first repeat of its run — and
+			// skip tau for the weak games, where the state was already
+			// reported as ViolationTau.
+			if i > 0 && arcs[i-1].Act == a.Act && (i < 2 || arcs[i-2].Act != a.Act) &&
+				(a.Act != fsp.Tau || rel == Strong) {
+				add(Violation{State: s, Action: spec.Alphabet().Name(a.Act), Kind: ViolationNondeterminism})
 			}
 		}
 	}
-	return nil
+	if e.Total == 0 {
+		return nil
+	}
+	return e
 }
 
-// Check decides whether net rel spec by the on-the-fly game. The spec
-// must satisfy Eligible for rel; the network is explored lazily and the
-// call returns as soon as a mismatch is found. Cancelling the context
-// stops the exploration at the next level barrier.
+// Check decides whether net rel spec by the on-the-fly game. Specs
+// satisfying Eligible play directly; nondeterministic or tau-bearing
+// specs play through the lazy subset determinization, which returns an
+// *UndecidedError if the nondeterminism turns out to be essential (see
+// the package comment). The network is explored lazily and the call
+// returns as soon as a mismatch is found. Cancelling the context stops
+// the exploration at the next level barrier.
 func Check(ctx context.Context, net *compose.Network, spec *fsp.FSP, rel Rel, opts Options) (*Result, error) {
 	switch rel {
 	case Strong, Weak, Congruence:
 	default:
 		return nil, fmt.Errorf("otf: relation %d not covered by the on-the-fly game", rel)
 	}
+	determinize := false
 	if err := Eligible(spec, rel); err != nil {
-		return nil, err
+		var ie *IneligibleError
+		if !errors.As(err, &ie) || !ie.Determinizable() {
+			return nil, err
+		}
+		determinize = true
 	}
 	e, err := net.Expand()
 	if err != nil {
 		return nil, err
 	}
-	s := newSession(e, spec, rel)
+	s, err := newSession(e, spec, rel, determinize)
+	if err != nil {
+		return nil, err
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return s.explore(ctx, workers)
+	res, err := s.explore(ctx, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Determinized = determinize
+	if d, ok := s.spec.(*detSpec); ok {
+		res.SpecSubsets = d.numSubsets()
+	}
+	return res, nil
 }
+
+// Sentinel answers of specSide.delta: the spec side cannot answer the
+// move at all (a mismatch), or the determinized side hit a heterogeneous
+// subset (the game must abort undecided).
+const (
+	specNoMove    int32 = -1
+	specUndecided int32 = -2
+)
+
+// specSide is the deterministic right-hand player of the game: either
+// the spec itself (directSpec, when Eligible passes) or its lazily
+// determinized subset view (detSpec). Ids are spec states in the direct
+// case and interned subset ids in the determinized case; both start from
+// start(). Implementations must be safe for concurrent readers.
+type specSide interface {
+	start() int32
+	// delta returns the forced answer to label l from id q, specNoMove
+	// when there is none, or specUndecided (determinized only) when the
+	// answering subset mixes inequivalent states.
+	delta(q, l int32) int32
+	// pairRows returns q's extension bitset (stride session.extWords)
+	// and enabled-label bitset (stride session.words; for the weak games
+	// the tau bit is never set) in one call — the hot path reads both
+	// once per pair, and the determinized side serves them under a
+	// single lock acquisition.
+	pairRows(q int32) (ext, enabled []uint64)
+	// rootTauDelta answers an initial product tau under the ≈ᶜ root
+	// condition: the spec's =tau=>+ derivative subset, or specNoMove
+	// when the spec has none (a tau-free direct spec always answers
+	// specNoMove, reproducing the root-condition mismatch).
+	rootTauDelta() int32
+	// rootHasTau reports whether the spec's start state itself has a
+	// strong tau arc — the symmetric ≈ᶜ root obligation on the product.
+	rootHasTau() bool
+	// describe renders id q for diagnostics ("state 3", "subset {1,4}").
+	describe(q int32) string
+}
+
+// directSpec is the PR-4 fast path: flat per-(state, label) tables of a
+// spec that is action-deterministic (and tau-free for the weak games).
+type directSpec struct {
+	numLabels int
+	// deltas[q*numLabels+l] is the unique l-successor of spec state q or
+	// specNoMove; enabled is the per-state enabled-label bitset (stride
+	// words). For the weak games the tau bit is never set (the spec is
+	// tau-free there by eligibility).
+	deltas  []int32
+	enabled []uint64
+	words   int
+	ext     [][]uint64
+	startSt int32
+}
+
+func (d *directSpec) start() int32 { return d.startSt }
+
+func (d *directSpec) delta(q, l int32) int32 { return d.deltas[int(q)*d.numLabels+int(l)] }
+
+func (d *directSpec) pairRows(q int32) (ext, enabled []uint64) {
+	return d.ext[q], d.enabled[int(q)*d.words : (int(q)+1)*d.words]
+}
+
+func (d *directSpec) rootTauDelta() int32 { return specNoMove }
+
+func (d *directSpec) rootHasTau() bool { return false }
+
+func (d *directSpec) describe(q int32) string { return fmt.Sprintf("state %d", q) }
 
 // nShards is the visited-table shard count; pair ids carry the shard in
 // their low bits.
@@ -191,8 +421,8 @@ type parentLink struct {
 }
 
 // shard is one slice of the hash-consed visited table. ids maps the
-// packed (state vector, spec state) key to the pair id; parents is
-// indexed by the id's local part.
+// packed (state vector, spec id) key to the pair id; parents is indexed
+// by the id's local part.
 type shard struct {
 	mu      sync.Mutex
 	index   int32
@@ -209,13 +439,16 @@ type pairRec struct {
 }
 
 // failure is the first mismatch found, published through an atomic
-// pointer so every worker stops on the next pair.
+// pointer so every worker stops on the next pair. undecided marks a
+// determinized-game abort (heterogeneous subset) instead of a verdict.
 type failure struct {
-	at     int32
-	reason string
+	at        int32
+	reason    string
+	undecided bool
 }
 
-// session holds the translated spec and the shared exploration state.
+// session holds the translated spec side and the shared exploration
+// state.
 type session struct {
 	e   *compose.Expansion
 	rel Rel
@@ -228,33 +461,26 @@ type session struct {
 	numLabels  int
 	words      int
 
-	// specDelta[q*numLabels+l] is the unique l-successor of spec state q
-	// or -1; specEnabled is the per-state enabled-label bitset (stride
-	// words). For the weak games the tau bit is never set.
-	specDelta   []int32
-	specEnabled []uint64
-
 	// Extension signatures as bitsets over the interned extension-variable
-	// names (stride extWords): specExt per spec state, compExt per
-	// component state (nil = empty extension).
+	// names (stride extWords): compExt per component state (nil = empty
+	// extension); the spec side carries its own rows.
 	extWords int
 	extNames []string
-	specExt  [][]uint64
 	compExt  [][][]uint64
 
-	specStart int32
-	rootID    int32
-	shards    [nShards]shard
-	pairs     atomic.Int64
-	fail      atomic.Pointer[failure]
+	spec   specSide
+	rootID int32
+	shards [nShards]shard
+	pairs  atomic.Int64
+	fail   atomic.Pointer[failure]
 }
 
-func newSession(e *compose.Expansion, spec *fsp.FSP, rel Rel) *session {
-	s := &session{e: e, rel: rel, k: e.K(), specStart: int32(spec.Start())}
+func newSession(e *compose.Expansion, spec *fsp.FSP, rel Rel, determinize bool) (*session, error) {
+	s := &session{e: e, rel: rel, k: e.K()}
 
 	// Dense labels: the network's, plus any spec action missing from
 	// them. Spec-only labels are never produced by the product, so pairs
-	// whose spec state enables one fail the enabledness check — exactly
+	// whose spec side enables one fail the enabledness check — exactly
 	// the right verdict.
 	s.labelNames = append([]string(nil), e.Labels...)
 	labelOf := make(map[string]int32, len(s.labelNames))
@@ -276,21 +502,6 @@ func newSession(e *compose.Expansion, spec *fsp.FSP, rel Rel) *session {
 	s.numLabels = len(s.labelNames)
 	s.words = (s.numLabels + 63) / 64
 
-	n := spec.NumStates()
-	s.specDelta = make([]int32, n*s.numLabels)
-	for i := range s.specDelta {
-		s.specDelta[i] = -1
-	}
-	s.specEnabled = make([]uint64, n*s.words)
-	for q := 0; q < n; q++ {
-		enabled := s.specEnabled[q*s.words : (q+1)*s.words]
-		for _, a := range spec.Arcs(fsp.State(q)) {
-			l := specLabel[a.Act]
-			s.specDelta[q*s.numLabels+int(l)] = int32(a.To)
-			setBit(enabled, l)
-		}
-	}
-
 	// Extension-name interning: bit per distinct variable name across the
 	// components and the spec, so product-extension unions are word ORs.
 	extOf := map[string]int32{}
@@ -303,6 +514,7 @@ func newSession(e *compose.Expansion, spec *fsp.FSP, rel Rel) *session {
 		}
 		return id
 	}
+	n := spec.NumStates()
 	for q := 0; q < n; q++ {
 		for _, id := range spec.Ext(fsp.State(q)).IDs() {
 			internExt(spec.Vars().Name(id))
@@ -319,13 +531,13 @@ func newSession(e *compose.Expansion, spec *fsp.FSP, rel Rel) *session {
 	if s.extWords == 0 {
 		s.extWords = 1
 	}
-	s.specExt = make([][]uint64, n)
+	stateExt := make([][]uint64, n)
 	for q := 0; q < n; q++ {
 		m := make([]uint64, s.extWords)
 		for _, id := range spec.Ext(fsp.State(q)).IDs() {
 			setBit(m, extOf[spec.Vars().Name(id)])
 		}
-		s.specExt[q] = m
+		stateExt[q] = m
 	}
 	s.compExt = make([][][]uint64, len(e.Exts))
 	for i := range e.Exts {
@@ -342,11 +554,46 @@ func newSession(e *compose.Expansion, spec *fsp.FSP, rel Rel) *session {
 		}
 	}
 
+	if determinize {
+		d, err := newDetSpec(spec, rel, specLabel, stateExt, s.numLabels, s.words)
+		if err != nil {
+			return nil, err
+		}
+		s.spec = d
+	} else {
+		s.spec = newDirectSpec(spec, specLabel, stateExt, s.numLabels, s.words)
+	}
+
 	for i := range s.shards {
 		s.shards[i].index = int32(i)
 		s.shards[i].ids = map[string]int32{}
 	}
-	return s
+	return s, nil
+}
+
+// newDirectSpec builds the flat delta/enabled tables of an eligible spec.
+func newDirectSpec(spec *fsp.FSP, specLabel []int32, stateExt [][]uint64, numLabels, words int) *directSpec {
+	n := spec.NumStates()
+	d := &directSpec{
+		numLabels: numLabels,
+		deltas:    make([]int32, n*numLabels),
+		enabled:   make([]uint64, n*words),
+		words:     words,
+		ext:       stateExt,
+		startSt:   int32(spec.Start()),
+	}
+	for i := range d.deltas {
+		d.deltas[i] = specNoMove
+	}
+	for q := 0; q < n; q++ {
+		enabled := d.enabled[q*words : (q+1)*words]
+		for _, a := range spec.Arcs(fsp.State(q)) {
+			l := specLabel[a.Act]
+			d.deltas[q*numLabels+int(l)] = int32(a.To)
+			setBit(enabled, l)
+		}
+	}
+	return d
 }
 
 // intern hash-conses the pair (vec, q), recording its discovery parent on
@@ -418,7 +665,7 @@ func (s *session) newWorker() *worker {
 // explore runs the level-synchronized parallel BFS over forced pairs.
 func (s *session) explore(ctx context.Context, workers int) (*Result, error) {
 	rootVec := append([]int32(nil), s.e.Starts...)
-	rootQ := s.specStart
+	rootQ := s.spec.start()
 	buf := make([]byte, 4*(s.k+1))
 	s.rootID, _ = s.intern(buf, rootVec, rootQ, -1, -1)
 	frontier := []pairRec{{id: s.rootID, q: rootQ, vec: rootVec}}
@@ -467,20 +714,32 @@ func (s *session) explore(ctx context.Context, workers int) (*Result, error) {
 		}
 	}
 
-	res := &Result{Pairs: int(s.pairs.Load()), Depth: depth}
 	if f := s.fail.Load(); f != nil {
-		res.Counterexample = &Counterexample{Trace: s.trace(f.at), Reason: f.reason}
-	} else {
-		res.Equivalent = true
+		cx := &Counterexample{Trace: s.trace(f.at), Reason: f.reason}
+		if f.undecided {
+			return nil, &UndecidedError{Reason: fmt.Sprintf("%s (reached %s)", f.reason, traceClause(cx.Trace))}
+		}
+		return &Result{Pairs: int(s.pairs.Load()), Depth: depth, Counterexample: cx}, nil
 	}
-	return res, nil
+	return &Result{Equivalent: true, Pairs: int(s.pairs.Load()), Depth: depth}, nil
+}
+
+// traceClause renders a trace for the undecided diagnostic.
+func traceClause(trace []string) string {
+	if len(trace) == 0 {
+		return "at the start pair"
+	}
+	return "after " + strings.Join(trace, "·")
 }
 
 // process runs the local bisimulation-game checks of one pair and
 // enqueues its undiscovered forced successors. A non-nil return is the
-// distinguishing mismatch.
+// distinguishing mismatch (or the undecided abort).
 func (w *worker) process(rec pairRec) *failure {
 	s := w.s
+	spec := s.spec
+
+	specExt, specEnabled := spec.pairRows(rec.q)
 
 	// Extensions must agree (the initial-partition condition).
 	clearWords(w.ext)
@@ -489,33 +748,42 @@ func (w *worker) process(rec pairRec) *failure {
 			orWords(w.ext, m)
 		}
 	}
-	if !equalWords(w.ext, s.specExt[rec.q]) {
+	if !equalWords(w.ext, specExt) {
 		return &failure{at: rec.id, reason: fmt.Sprintf(
-			"the network state has extension {%s}; the spec state has {%s}",
-			strings.Join(w.extNames(w.ext), ","), strings.Join(w.extNames(s.specExt[rec.q]), ","))}
+			"the network state has extension {%s}; spec %s has {%s}",
+			strings.Join(w.extNames(w.ext), ","), spec.describe(rec.q), strings.Join(w.extNames(specExt), ","))}
 	}
 
-	// Every product move must be answered by the spec.
+	// Every product move must be answered by the spec side.
 	clearWords(w.direct)
-	base := int(rec.q) * s.numLabels
+	root := rec.id == s.rootID
+	sawTau := false
 	var fail *failure
 	s.e.Succ(rec.vec, w.succ, func(label int32, succ []int32) bool {
 		q2 := rec.q
 		if label == 0 && s.rel != Strong {
-			// The spec stands still on a product tau — except at the ≈ᶜ
-			// root, where an initial tau needs an answering spec tau that
-			// a tau-free spec cannot provide.
-			if s.rel == Congruence && rec.id == s.rootID {
-				fail = &failure{at: rec.id, reason: "the network starts with a tau move; the tau-free spec violates the ≈ᶜ root condition"}
-				return false
+			sawTau = true
+			if s.rel == Congruence && root {
+				// The ≈ᶜ root condition: an initial product tau needs an
+				// answering spec =tau=>+ move, not mere standing still.
+				q2 = spec.rootTauDelta()
+				if q2 == specNoMove {
+					fail = &failure{at: rec.id, reason: "the network starts with a tau move the spec cannot answer with a tau of its own (≈ᶜ root condition)"}
+					return false
+				}
 			}
+			// Otherwise the spec stands still on a product tau.
 		} else {
 			setBit(w.direct, label)
-			q2 = s.specDelta[base+int(label)]
-			if q2 < 0 {
-				fail = &failure{at: rec.id, reason: fmt.Sprintf("the network performs %q; the spec state cannot", s.labelNames[label])}
+			q2 = spec.delta(rec.q, label)
+			if q2 == specNoMove {
+				fail = &failure{at: rec.id, reason: fmt.Sprintf("the network performs %q; spec %s cannot", s.labelNames[label], spec.describe(rec.q))}
 				return false
 			}
+		}
+		if q2 == specUndecided {
+			fail = w.undecidedFailure(rec.id)
+			return false
 		}
 		id, fresh := s.intern(w.key, succ, q2, rec.id, label)
 		if fresh {
@@ -528,10 +796,16 @@ func (w *worker) process(rec pairRec) *failure {
 		return fail
 	}
 
+	// The symmetric ≈ᶜ root obligation: a spec-side initial tau needs an
+	// answering product tau (p0 ==tau=>+ starts with a strong tau move).
+	if s.rel == Congruence && root && spec.rootHasTau() && !sawTau {
+		return &failure{at: rec.id, reason: "the spec starts with a tau move; the network has no initial tau to answer it (≈ᶜ root condition)"}
+	}
+
 	// Every spec move must be (weakly) matched by the product. The weak
 	// games walk the product's tau-closure lazily, but only for the
 	// obligations the direct moves left open.
-	copy(w.missing, s.specEnabled[int(rec.q)*s.words:(int(rec.q)+1)*s.words])
+	copy(w.missing, specEnabled)
 	andNotWords(w.missing, w.direct)
 	if s.rel != Strong && !zeroWords(w.missing) {
 		w.walkMissing(rec.vec)
@@ -542,9 +816,21 @@ func (w *worker) process(rec pairRec) *failure {
 			how = " weakly"
 		}
 		return &failure{at: rec.id, reason: fmt.Sprintf(
-			"the spec requires %q; the network cannot%s perform it", s.labelNames[firstBit(w.missing)], how)}
+			"spec %s requires %q; the network cannot%s perform it", spec.describe(rec.q), s.labelNames[firstBit(w.missing)], how)}
 	}
 	return nil
+}
+
+// undecidedFailure builds the abort record for a heterogeneous subset,
+// pulling the detailed reason recorded by the determinized spec side.
+func (w *worker) undecidedFailure(at int32) *failure {
+	reason := "a spec subset mixes inequivalent states (essential nondeterminism)"
+	if d, ok := w.s.spec.(*detSpec); ok {
+		if r := d.heteroReason.Load(); r != nil {
+			reason = *r
+		}
+	}
+	return &failure{at: at, reason: reason, undecided: true}
 }
 
 // walkMissing clears from w.missing every label weakly enabled from vec:

@@ -73,20 +73,36 @@ func CheckNetwork(ctx context.Context, net *Network, spec *Process, rel Relation
 // pair space in parallel and returns on the first mismatch. Networks
 // whose (even minimized) product is too large to build can still be
 // checked this way, and inequivalent instances are often decided after a
-// vanishing fraction of the product. The game needs a deterministic spec
-// (tau-free for the weak relations) and covers Strong, Weak and
-// Congruence; everything else falls back to minimize-then-compose, so
-// the verdict always agrees with CheckNetwork.
+// vanishing fraction of the product. Deterministic specs play the game
+// directly; nondeterministic or tau-bearing specs are determinized
+// lazily by the subset construction, sound as long as their
+// nondeterminism is inessential (every subset the game meets holds
+// equivalent states — true of tau detours, refresh loops and confluent
+// choices). The game covers Strong, Weak and Congruence; uncovered
+// relations, epsilon-tainted specs, and specs with essential
+// nondeterminism fall back to minimize-then-compose, so the verdict
+// always agrees with CheckNetwork — CheckNetworkOTFInfo reports which
+// route was taken and why.
 func (c *Checker) CheckNetworkOTF(ctx context.Context, net *Network, spec *Process, rel Relation, k int) (bool, error) {
 	eq, _, err := c.CheckNetworkOTFInfo(ctx, net, spec, rel, k)
 	return eq, err
 }
 
-// NetworkOTFInfo reports how CheckNetworkOTFInfo answered a query: on the
-// fly (with the game's exploration stats and, on inequivalence, its
-// distinguishing trace) or through the minimize-then-compose fallback
-// (with the reason).
+// NetworkOTFInfo reports how CheckNetworkOTFInfo answered a query: the
+// route taken (RouteOTF, RouteOTFDeterminized, or RouteMTCFallback with
+// the reason), the game's exploration stats, and, on inequivalence, its
+// distinguishing trace with the mismatch reason (see the
+// CounterexampleString method).
 type NetworkOTFInfo = engine.OTFInfo
+
+// Routes a CheckNetworkOTFInfo query can take, re-exported from the
+// engine so callers can switch on NetworkOTFInfo.Route without
+// duplicating the strings.
+const (
+	RouteOTF             = engine.RouteOTF
+	RouteOTFDeterminized = engine.RouteOTFDeterminized
+	RouteMTCFallback     = engine.RouteMTCFallback
+)
 
 // CheckNetworkOTFInfo is Checker.CheckNetworkOTF plus the route taken,
 // for callers that report or assert on it.
