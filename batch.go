@@ -11,6 +11,11 @@ import (
 // Query is one batch equivalence question: are the start states of P and Q
 // related by Rel? K is the bound for the approximant relations returned by
 // ParseRelation ("kN", "limitedN") and is ignored otherwise.
+//
+// Deprecated: new code should describe queries as CheckRequest values
+// (request.go) and run them with Checker.Do/DoAll — the same type the
+// CLI and the HTTP server speak, with routes, timeouts and typed errors.
+// Query remains for callers that already hold *Process values.
 type Query struct {
 	P, Q *Process
 	Rel  Relation
@@ -18,6 +23,9 @@ type Query struct {
 }
 
 // BatchResult is the outcome of one batch Query, in input order.
+//
+// Deprecated: Checker.Do/DoAll return Report values, which add the route
+// taken, counterexamples, and a typed error classification.
 type BatchResult struct {
 	// Equivalent is the verdict; meaningful only when Err is nil.
 	Equivalent bool
@@ -83,6 +91,9 @@ func (c *Checker) CheckAll(ctx context.Context, queries []Query, workers int) []
 // CheckAll is the convenience form of Checker.CheckAll with a fresh
 // single-use checker: the cache still deduplicates derivation work across
 // the given queries, but nothing is retained afterwards.
+//
+// Deprecated: prefer NewChecker().DoAll with CheckRequest values; this
+// form remains for callers that already hold *Process values.
 func CheckAll(ctx context.Context, queries []Query, workers int) []BatchResult {
 	return NewChecker().CheckAll(ctx, queries, workers)
 }

@@ -1,32 +1,38 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"time"
 
 	"ccs"
 )
 
 // cmdBatch checks a list of process pairs concurrently through the batch
-// engine. The list file has one query per line:
+// engine. The LIST file (or - for stdin) holds either the line-oriented
+// pair list,
 //
 //	[RELATION] A B
 //
 // where RELATION is any name ParseRelation accepts (default: the -rel
-// flag) and A, B are process files or "expr:" expressions. Blank lines and
-// '#' comments are skipped. Each process file is loaded once and shared
-// across queries, so the engine's per-process artifact cache applies.
+// flag) and A, B are process files or "expr:" expressions — or a JSON
+// request document in the shared schema (ccs.EncodeRequests; the same
+// body `ccs serve` accepts on /v1/batch). Blank lines and '#' comments
+// are skipped in the text form. Each process file is loaded once and
+// shared across queries, so the engine's per-process artifact cache
+// applies. -json renders the reports as a versioned JSON document instead
+// of the text table; -cache-dir persists derived artifacts across runs.
 func cmdBatch(args []string) (*bool, error) {
 	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
 	relName := fs.String("rel", "strong", "default relation for lines that name only two processes")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "overall deadline for the batch (0 = none)")
+	jsonOut := fs.Bool("json", false, "emit reports as a versioned JSON document")
+	stats := fs.Bool("stats", false, "report cache/store counters on stderr")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact store directory (empty = memory-only)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -42,7 +48,11 @@ func cmdBatch(args []string) (*bool, error) {
 		defer f.Close()
 		in = f
 	}
-	queries, labels, err := parseBatch(in, *relName)
+	reqs, err := ccs.ParseRequests(in, *relName)
+	if err != nil {
+		return nil, err
+	}
+	checker, err := newCLIChecker(*cacheDir)
 	if err != nil {
 		return nil, err
 	}
@@ -53,102 +63,76 @@ func cmdBatch(args []string) (*bool, error) {
 		defer cancel()
 	}
 
-	poolSize := ccs.PoolSize(*workers, len(queries))
-
+	poolSize := ccs.PoolSize(*workers, len(reqs))
 	start := time.Now()
-	results := ccs.CheckAll(ctx, queries, *workers)
+	reports := checker.DoAll(ctx, reqs, *workers, loadProcess)
 	total := time.Since(start)
 
-	allEq, failed := true, 0
-	for i, r := range results {
+	if *stats {
+		fmt.Fprintln(os.Stderr, checker.Stats().Render())
+	}
+	if *jsonOut {
+		data, err := ccs.EncodeReports(reports)
+		if err != nil {
+			return nil, err
+		}
+		os.Stdout.Write(append(data, '\n'))
+	}
+
+	allEq := true
+	badInput, failed := 0, 0
+	for i, rep := range reports {
+		label := rep.Label
+		if label == "" {
+			label = fmt.Sprintf("query %d", i+1)
+		}
 		switch {
-		case r.Err != nil:
+		case rep.Error != nil:
 			failed++
-			fmt.Printf("%-40s error: %v\n", labels[i], r.Err)
-		case r.Equivalent:
-			fmt.Printf("%-40s equivalent      %12s\n", labels[i], r.Elapsed.Round(time.Microsecond))
+			if rep.Error.Kind == ccs.ErrorKindInput {
+				badInput++
+			}
+			if !*jsonOut {
+				fmt.Printf("%-40s error (%s): %s\n", label, rep.Error.Kind, rep.Error.Message)
+			}
+		case rep.Equivalent:
+			if !*jsonOut {
+				fmt.Printf("%-40s equivalent      %12s\n", label, reportElapsed(rep))
+			}
 		default:
 			allEq = false
-			fmt.Printf("%-40s NOT equivalent  %12s\n", labels[i], r.Elapsed.Round(time.Microsecond))
+			if !*jsonOut {
+				fmt.Printf("%-40s NOT equivalent  %12s\n", label, reportElapsed(rep))
+			}
 		}
 	}
-	fmt.Printf("%d queries in %s (%d workers)\n", len(results), total.Round(time.Millisecond), poolSize)
-	if failed > 0 {
+	if !*jsonOut {
+		fmt.Printf("%d queries in %s (%d workers)\n", len(reports), total.Round(time.Millisecond), poolSize)
+	}
+	switch {
+	case badInput > 0:
+		// Bad inputs keep the usage/input exit so a typo'd file name is
+		// distinguishable from a genuine mid-check failure.
+		return nil, fmt.Errorf("%d of %d queries had invalid inputs", badInput, len(reports))
+	case failed > 0:
 		// Exit 3, not 2: the batch ran, and "some queries could not be
 		// checked" must stay distinguishable both from a usage error and
 		// from the checked-but-inequivalent verdict (exit 1). The verdict
 		// lines above remain the per-query record.
-		return nil, &exitError{code: 3, err: fmt.Errorf("%d of %d queries failed", failed, len(results))}
+		return nil, &exitError{code: 3, err: fmt.Errorf("%d of %d queries failed", failed, len(reports))}
 	}
 	return &allEq, nil
 }
 
-// parseBatch reads the pair list, loading each distinct process argument
-// exactly once so repeated mentions share one *ccs.Process (the engine
-// cache is keyed by pointer identity). It returns the queries plus a
-// display label per query.
-func parseBatch(in io.Reader, defaultRel string) ([]ccs.Query, []string, error) {
-	procs := map[string]*ccs.Process{}
-	load := func(arg string) (*ccs.Process, error) {
-		if p, ok := procs[arg]; ok {
-			return p, nil
-		}
-		p, err := loadProcess(arg)
-		if err != nil {
-			return nil, err
-		}
-		procs[arg] = p
-		return p, nil
+// newCLIChecker builds the subcommand's checker: store-backed when a
+// cache directory is named, memory-only otherwise.
+func newCLIChecker(cacheDir string) (*ccs.Checker, error) {
+	if cacheDir == "" {
+		return ccs.NewChecker(), nil
 	}
+	return ccs.NewStoreChecker(cacheDir, 0)
+}
 
-	var queries []ccs.Query
-	var labels []string
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		relName := defaultRel
-		switch len(fields) {
-		case 2:
-			// A relation name in first position means the second process
-			// was forgotten; diagnose that instead of failing to open a
-			// file literally called "weak". (Prefix a path with ./ in the
-			// unlikely case a process file shares a relation name.)
-			if _, _, err := ccs.ParseRelation(fields[0]); err == nil {
-				return nil, nil, fmt.Errorf("line %d: relation %q needs two process arguments", lineNo, fields[0])
-			}
-		case 3:
-			relName = fields[0]
-			fields = fields[1:]
-		default:
-			return nil, nil, fmt.Errorf("line %d: want [RELATION] A B, got %d fields", lineNo, len(fields))
-		}
-		rel, k, err := ccs.ParseRelation(relName)
-		if err != nil {
-			return nil, nil, fmt.Errorf("line %d: %w", lineNo, err)
-		}
-		p, err := load(fields[0])
-		if err != nil {
-			return nil, nil, fmt.Errorf("line %d: %w", lineNo, err)
-		}
-		q, err := load(fields[1])
-		if err != nil {
-			return nil, nil, fmt.Errorf("line %d: %w", lineNo, err)
-		}
-		queries = append(queries, ccs.Query{P: p, Q: q, Rel: rel, K: k})
-		labels = append(labels, fmt.Sprintf("%s %s %s", relName, fields[0], fields[1]))
-	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, err
-	}
-	if len(queries) == 0 {
-		return nil, nil, fmt.Errorf("no queries in list")
-	}
-	return queries, labels, nil
+func reportElapsed(rep ccs.Report) string {
+	return (time.Duration(rep.ElapsedMS * float64(time.Millisecond))).Round(time.Microsecond).String()
 }

@@ -5,6 +5,7 @@
 //	ccs check  -rel strong|weak|trace|failure|kN|limitedN A B
 //	ccs batch  [-rel REL] [-workers N] LIST
 //	ccs network [-rel REL] [-flat|-otf] [-stats] FILE
+//	ccs serve  [-addr A] [-cache-dir D] [-workers N]
 //	ccs expr   -rel ccs|language EXPR1 EXPR2
 //	ccs minimize -rel strong|weak A
 //	ccs explain [-weak] A B
@@ -61,6 +62,8 @@ func run(args []string) int {
 		verdict, err = cmdBatch(args[1:])
 	case "network":
 		verdict, err = cmdNetwork(args[1:])
+	case "serve":
+		verdict, err = cmdServe(args[1:])
 	case "spectrum":
 		err = cmdSpectrum(args[1:])
 	case "refines":
@@ -110,6 +113,7 @@ func usage() {
   ccs check    -rel strong|weak|trace|failure|congruence|simulation|kN|limitedN A B
   ccs batch    [-rel REL] [-workers N] [-timeout D] LIST   # concurrent pair list
   ccs network  [-rel REL] [-flat|-otf] [-stats] FILE       # compositional check
+  ccs serve    [-addr A] [-cache-dir D] [-workers N]       # HTTP/JSON service
   ccs spectrum A B
   ccs refines  SPEC IMPL
   ccs divergent A

@@ -1,13 +1,11 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"ccs"
 )
@@ -23,14 +21,17 @@ import (
 //	spec S                      # the specification process
 //	rel REL                     # relation (overridden by -rel)
 //
-// Process arguments are files or "expr:" expressions, like everywhere
-// else; '#' starts a comment. Without a spec the composed (minimized)
-// process is printed in the interchange format instead of checked.
-// -flat skips component minimization; -stats additionally materializes
-// the flat product's refinement index to report its exact size and, with
-// -otf, reports the route actually taken (otf, otf-determinized, or
-// mtc-fallback with the reason). An inequivalent on-the-fly verdict
-// prints the game's distinguishing counterexample.
+// (parsed by ccs.ParseNetworkDescription into the same NetworkRequest the
+// batch schema and `ccs serve` speak). Process arguments are files or
+// "expr:" expressions, like everywhere else; '#' starts a comment.
+// Without a spec the composed (minimized) process is printed in the
+// interchange format instead of checked. -flat skips component
+// minimization; -stats additionally materializes the flat product's
+// refinement index to report its exact size, reports the checker's
+// cache/store counters, and, with -otf, reports the route actually taken
+// (otf, otf-determinized, or mtc-fallback with the reason). An
+// inequivalent on-the-fly verdict prints the game's distinguishing
+// counterexample. -cache-dir persists derived artifacts across runs.
 //
 // Exit codes align with ccs batch: 0 equivalent, 1 inequivalent, 2 usage
 // or input error, 3 when the query itself failed to check (e.g. a
@@ -40,7 +41,8 @@ func cmdNetwork(args []string) (*bool, error) {
 	relFlag := fs.String("rel", "", "relation (default: the file's rel directive, else weak)")
 	flat := fs.Bool("flat", false, "compose the flat product (skip component minimization)")
 	otfFlag := fs.Bool("otf", false, "check on the fly (lazy product-vs-spec game; nondeterministic specs are determinized lazily, with a fallback only when the game cannot play)")
-	stats := fs.Bool("stats", false, "report flat product size via the CSR index")
+	stats := fs.Bool("stats", false, "report flat product size and cache/store counters")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact store directory (empty = memory-only)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -59,7 +61,7 @@ func cmdNetwork(args []string) (*bool, error) {
 		defer f.Close()
 		in = f
 	}
-	net, spec, fileRel, err := parseNetwork(in)
+	nr, fileRel, err := ccs.ParseNetworkDescription(in)
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +76,22 @@ func cmdNetwork(args []string) (*bool, error) {
 	if err != nil {
 		return nil, err
 	}
+	checker, err := newCLIChecker(*cacheDir)
+	if err != nil {
+		return nil, err
+	}
+
+	// The paths below that materialize the network themselves (-stats
+	// size report, -flat, spec-less printing) resolve it here; component
+	// load failures are input errors, exit 2.
+	var net *ccs.Network
+	var spec *ccs.Process
+	if *stats || *flat || nr.Spec == "" {
+		net, spec, err = nr.BuildNetwork(loadProcess)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	if *stats {
 		idx, _, err := net.Index()
@@ -81,9 +99,10 @@ func cmdNetwork(args []string) (*bool, error) {
 			return nil, queryErr(err)
 		}
 		fmt.Fprintf(os.Stderr, "flat product: %d states, %d transitions\n", idx.N(), idx.NumEdges())
+		defer func() { fmt.Fprintln(os.Stderr, checker.Stats().Render()) }()
 	}
 
-	if spec == nil {
+	if nr.Spec == "" {
 		// No spec: emit the composed process itself. That necessarily
 		// materializes the product, which is exactly what -otf promises
 		// not to do — reject the combination instead of ignoring the flag.
@@ -103,8 +122,7 @@ func cmdNetwork(args []string) (*bool, error) {
 	var eq bool
 	route := routeName(*flat)
 	counterexample := ""
-	switch {
-	case *flat:
+	if *flat {
 		composed, err := net.FSP()
 		if err != nil {
 			return nil, queryErr(err)
@@ -113,41 +131,43 @@ func cmdNetwork(args []string) (*bool, error) {
 		if err != nil {
 			return nil, queryErr(err)
 		}
-	case *otfFlag:
-		var info ccs.NetworkOTFInfo
-		eq, info, err = ccs.NewChecker().CheckNetworkOTFInfo(context.Background(), net, spec, rel, k)
-		if err != nil {
+	} else {
+		// The spec'd check goes through the request facade — the same
+		// CheckRequest the batch schema and `ccs serve` speak.
+		reqRoute := ccs.RouteMTC
+		if *otfFlag {
+			reqRoute = "otf"
+		}
+		req := ccs.NewNetworkCheck(relName, nr, ccs.WithRoute(reqRoute))
+		rep := checker.Do(context.Background(), req, loadProcess)
+		if rep.Error != nil {
+			err := fmt.Errorf("%s", rep.Error.Message)
+			if rep.Error.Kind == ccs.ErrorKindInput {
+				return nil, err
+			}
 			return nil, queryErr(err)
 		}
+		eq = rep.Equivalent
+		counterexample = rep.Counterexample
 		// Report the route actually taken — a silent route change is a
 		// correctness trap for anyone benchmarking: the engine plays the
 		// game directly, determinizes the spec on the fly, or falls back
 		// to minimize-then-compose when the game genuinely cannot play.
-		switch info.Route {
+		switch rep.Route {
 		case ccs.RouteOTF:
 			route = "on-the-fly"
 		case ccs.RouteOTFDeterminized:
 			route = "on-the-fly, determinized spec"
-		default:
+		case ccs.RouteMTCFallback:
 			route = "minimize-then-compose fallback"
-			fmt.Fprintf(os.Stderr, "on-the-fly route unavailable, fell back to minimize-then-compose: %s\n", info.Fallback)
+			fmt.Fprintf(os.Stderr, "on-the-fly route unavailable, fell back to minimize-then-compose: %s\n", rep.Fallback)
 		}
-		if *stats {
-			if info.OnTheFly {
-				subsets := ""
-				if info.SpecSubsets > 0 {
-					subsets = fmt.Sprintf(", %d spec subsets", info.SpecSubsets)
-				}
-				fmt.Fprintf(os.Stderr, "otf route: %s (%d pairs, depth %d%s)\n", info.Route, info.Pairs, info.Depth, subsets)
+		if *otfFlag && *stats {
+			if rep.Route == ccs.RouteMTCFallback {
+				fmt.Fprintf(os.Stderr, "otf route: %s (%s)\n", rep.Route, rep.Fallback)
 			} else {
-				fmt.Fprintf(os.Stderr, "otf route: %s (%s)\n", info.Route, info.Fallback)
+				fmt.Fprintf(os.Stderr, "otf route: %s\n", rep.Route)
 			}
-		}
-		counterexample = info.CounterexampleString()
-	default:
-		eq, err = ccs.CheckNetwork(context.Background(), net, spec, rel, k)
-		if err != nil {
-			return nil, queryErr(err)
 		}
 	}
 	if eq {
@@ -182,92 +202,4 @@ func composeFor(net *ccs.Network, flat bool) (*ccs.Process, error) {
 		return ccs.ComposeNetwork(net)
 	}
 	return ccs.MinimizeNetwork(net)
-}
-
-// parseNetwork reads the network description. Process files are loaded
-// once and shared across component instances, so the engine's artifact
-// cache minimizes each distinct process a single time.
-func parseNetwork(in io.Reader) (*ccs.Network, *ccs.Process, string, error) {
-	procs := map[string]*ccs.Process{}
-	load := func(arg string) (*ccs.Process, error) {
-		if p, ok := procs[arg]; ok {
-			return p, nil
-		}
-		p, err := loadProcess(arg)
-		if err != nil {
-			return nil, err
-		}
-		procs[arg] = p
-		return p, nil
-	}
-
-	net := &ccs.Network{}
-	var spec *ccs.Process
-	var rel string
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		switch fields[0] {
-		case "name":
-			if len(fields) != 2 {
-				return nil, nil, "", fmt.Errorf("line %d: name wants one argument", lineNo)
-			}
-			net.Name = fields[1]
-		case "component":
-			if len(fields) < 2 {
-				return nil, nil, "", fmt.Errorf("line %d: component wants a process argument", lineNo)
-			}
-			p, err := load(fields[1])
-			if err != nil {
-				return nil, nil, "", fmt.Errorf("line %d: %w", lineNo, err)
-			}
-			var relabel map[string]string
-			for _, pair := range fields[2:] {
-				old, to, ok := strings.Cut(pair, "=")
-				if !ok || old == "" || to == "" {
-					return nil, nil, "", fmt.Errorf("line %d: relabeling %q is not old=new", lineNo, pair)
-				}
-				if relabel == nil {
-					relabel = map[string]string{}
-				}
-				relabel[old] = to
-			}
-			net.Add(p, relabel)
-		case "hide":
-			if len(fields) < 2 {
-				return nil, nil, "", fmt.Errorf("line %d: hide wants channel names", lineNo)
-			}
-			net.Hide(fields[1:]...)
-		case "spec":
-			if len(fields) != 2 {
-				return nil, nil, "", fmt.Errorf("line %d: spec wants one process argument", lineNo)
-			}
-			p, err := load(fields[1])
-			if err != nil {
-				return nil, nil, "", fmt.Errorf("line %d: %w", lineNo, err)
-			}
-			spec = p
-		case "rel":
-			if len(fields) != 2 {
-				return nil, nil, "", fmt.Errorf("line %d: rel wants one relation name", lineNo)
-			}
-			rel = fields[1]
-		default:
-			return nil, nil, "", fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, "", err
-	}
-	if err := net.Validate(); err != nil {
-		return nil, nil, "", err
-	}
-	return net, spec, rel, nil
 }

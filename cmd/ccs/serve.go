@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ccs"
+	"ccs/internal/server"
+)
+
+// cmdServe runs the equivalence checker as an HTTP/JSON service (see
+// internal/server for the endpoints and schema). One long-lived checker
+// backs every request, so the artifact cache warms across queries; with
+// -cache-dir the derived artifacts additionally persist on disk and a
+// restarted server answers repeat queries from the store instead of
+// re-deriving.
+//
+// Exit codes align with the other subcommands: 0 on clean shutdown
+// (SIGINT/SIGTERM), 2 on usage errors, 3 when the server itself failed
+// (e.g. the listen address is taken or the cache directory unusable).
+func cmdServe(args []string) (*bool, error) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8286", "listen address")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact store directory (empty = memory-only)")
+	cacheCap := fs.Int64("cache-cap", 0, "store size cap in bytes (0 = unbounded)")
+	workers := fs.Int("workers", 0, "worker pool size per batch request (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", time.Minute, "per-query timeout cap (0 = none)")
+	maxInflight := fs.Int("max-inflight", 0, "admission control: max concurrent requests (0 = 2*GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 0 {
+		return nil, fmt.Errorf("serve takes no positional arguments")
+	}
+
+	checker := ccs.NewChecker()
+	if *cacheDir != "" {
+		var err error
+		checker, err = ccs.NewStoreChecker(*cacheDir, *cacheCap)
+		if err != nil {
+			return nil, queryErr(err)
+		}
+	}
+	srv, err := server.New(server.Config{
+		Checker:     checker,
+		Workers:     *workers,
+		MaxInFlight: *maxInflight,
+		MaxTimeout:  *timeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Listen before announcing, so a taken port fails fast with exit 3.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return nil, queryErr(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "ccs serve: listening on http://%s (cache-dir=%q)\n", ln.Addr(), *cacheDir)
+
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			return nil, queryErr(err)
+		}
+		fmt.Fprintf(os.Stderr, "ccs serve: shut down; %s\n", checker.Stats().Render())
+		return nil, nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil, nil
+		}
+		return nil, queryErr(err)
+	}
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ccs"
+)
+
+func TestServeUsageErrors(t *testing.T) {
+	if got := run([]string{"serve", "positional"}); got != 2 {
+		t.Errorf("serve with a positional argument = %d, want 2", got)
+	}
+	if got := run([]string{"serve", "-no-such-flag"}); got != 2 {
+		t.Errorf("serve with an unknown flag = %d, want 2", got)
+	}
+}
+
+func TestServeTakenPortExits3(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if got := run([]string{"serve", "-addr", ln.Addr().String()}); got != 3 {
+		t.Errorf("serve on a taken port = %d, want 3", got)
+	}
+}
+
+func TestServeBadCacheDirExits3(t *testing.T) {
+	// A plain file where the cache directory should be.
+	file := writeFixture(t, "not-a-dir", "x")
+	if got := run([]string{"serve", "-addr", "127.0.0.1:0", "-cache-dir", filepath.Join(file, "sub")}); got != 3 {
+		t.Errorf("serve with an unusable cache dir = %d, want 3", got)
+	}
+}
+
+// TestServeLifecycle boots the real subcommand, queries it over HTTP, and
+// shuts it down with the interrupt signal, pinning the clean exit 0.
+func TestServeLifecycle(t *testing.T) {
+	// Reserve a port, free it, and hand it to serve. The gap is a benign
+	// test-only race.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	exit := make(chan int, 1)
+	go func() { exit <- run([]string{"serve", "-addr", addr, "-cache-dir", t.TempDir()}) }()
+
+	base := "http://" + addr
+	waitServeReady(t, base, exit)
+
+	resp, err := http.Post(base+"/v1/check", "application/json",
+		strings.NewReader(`{"relation":"weak","p":"expr:a+a","q":"expr:a"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ccs.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rep.Error != nil || !rep.Equivalent {
+		t.Fatalf("served verdict: status %d, report %+v", resp.StatusCode, rep)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("serve exit = %d after interrupt, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not shut down on interrupt")
+	}
+}
+
+func waitServeReady(t *testing.T, base string, exit chan int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case code := <-exit:
+			t.Fatalf("serve exited early with %d", code)
+		default:
+		}
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("serve never became healthy")
+}
+
+func TestBatchJSONInputAndOutput(t *testing.T) {
+	reqs := []ccs.CheckRequest{
+		ccs.NewCheck("weak", "expr:a+a", "expr:a", ccs.WithLabel("eq")),
+		ccs.NewCheck("strong", "expr:a(b+c)", "expr:ab+ac", ccs.WithLabel("neq")),
+	}
+	doc, err := ccs.EncodeRequests(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := writeFixture(t, "reqs.json", string(doc))
+	code, stdout, _ := captureRun(t, []string{"batch", "-json", list})
+	if code != 1 {
+		t.Fatalf("json batch = %d, want 1 (one inequivalent)", code)
+	}
+	reps, err := ccs.DecodeReports([]byte(stdout))
+	if err != nil {
+		t.Fatalf("batch -json output is not a report document: %v\n%s", err, stdout)
+	}
+	if len(reps) != 2 || !reps[0].Equivalent || reps[1].Equivalent || reps[0].Label != "eq" {
+		t.Fatalf("reports: %+v", reps)
+	}
+}
+
+func TestBatchCacheDirWarms(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "store")
+	list := writeFixture(t, "list.txt", "weak expr:a(b+c) expr:ab+ac\n")
+	code, _, stderr := captureRun(t, []string{"batch", "-stats", "-cache-dir", cache, list})
+	if code != 1 {
+		t.Fatalf("cold run = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "store:") || !strings.Contains(stderr, "writes") {
+		t.Fatalf("cold -stats does not report the store: %q", stderr)
+	}
+	// The second process re-reads everything from the store.
+	code, _, stderr = captureRun(t, []string{"batch", "-stats", "-cache-dir", cache, list})
+	if code != 1 {
+		t.Fatalf("warm run = %d, want 1", code)
+	}
+	var hits int
+	if _, err := fmt.Sscanf(stderr[strings.Index(stderr, "misses, "):], "misses, %d writes", &hits); err == nil && hits > 0 {
+		t.Fatalf("warm run wrote again: %q", stderr)
+	}
+	if !strings.Contains(stderr, " hits") || strings.Contains(stderr, " 0 hits") {
+		t.Fatalf("warm -stats reports no hits: %q", stderr)
+	}
+}
+
+func TestNetworkStatsRendersCache(t *testing.T) {
+	cell := writeFixture(t, "cell.fsp", relayCell)
+	spec := writeFixture(t, "counter.fsp", counterTwo)
+	net := relayNetFile(t, cell, spec)
+	code, _, stderr := captureRun(t, []string{"network", "-stats", net})
+	if code != 0 {
+		t.Fatalf("network -stats = %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "cache: ") {
+		t.Errorf("network -stats does not render the shared cache summary: %q", stderr)
+	}
+	if !strings.Contains(stderr, "flat product: ") {
+		t.Errorf("network -stats lost the flat product size: %q", stderr)
+	}
+}

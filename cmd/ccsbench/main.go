@@ -1,14 +1,15 @@
 // Command ccsbench regenerates the paper's tables and figures as terminal
-// tables — one experiment per artifact, indexed E1..E19 (see DESIGN.md for
+// tables — one experiment per artifact, indexed E1..E20 (see DESIGN.md for
 // the experiment-to-paper mapping and EXPERIMENTS.md for recorded results;
 // E15 measures the batch equivalence engine, E16 the shared CSR refinement
 // kernel, E17 the compositional minimize-then-compose pipeline, E18 the on-the-fly
-// game against minimize-then-compose, and E19 the determinized on-the-fly
-// game on nondeterministic specs, rather than paper claims).
+// game against minimize-then-compose, E19 the determinized on-the-fly
+// game on nondeterministic specs, and E20 the persistent artifact store's
+// cold-vs-warm restart, rather than paper claims).
 //
 // Usage:
 //
-//	ccsbench [-exp e1,...|all] [-seed N] [-quick] [-benchjson FILE] [-e17json FILE] [-e18json FILE] [-e19json FILE]
+//	ccsbench [-exp e1,...|all] [-seed N] [-quick] [-benchjson FILE] [-e17json FILE] [-e18json FILE] [-e19json FILE] [-e20json FILE]
 package main
 
 import (
@@ -20,18 +21,20 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e19) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e20) or 'all'")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	benchjson := flag.String("benchjson", "", "file where E16 writes its JSON trajectory (default: not written)")
 	e17json := flag.String("e17json", "", "file where E17 writes its JSON trajectory (default: not written)")
 	e18json := flag.String("e18json", "", "file where E18 writes its JSON trajectory (default: not written)")
 	e19json := flag.String("e19json", "", "file where E19 writes its JSON trajectory (default: not written)")
+	e20json := flag.String("e20json", "", "file where E20 writes its JSON trajectory (default: not written)")
 	flag.Parse()
 	benchJSONPath = *benchjson
 	e17JSONPath = *e17json
 	e18JSONPath = *e18json
 	e19JSONPath = *e19json
+	e20JSONPath = *e20json
 
 	if err := run(os.Stdout, *exp, *seed, *quick); err != nil {
 		fmt.Fprintf(os.Stderr, "ccsbench: %v\n", err)
@@ -66,6 +69,7 @@ func experiments() []experiment {
 		{"e17", "Compositional pipeline: flat composition vs minimize-then-compose", runE17},
 		{"e18", "On-the-fly game: lazy product-vs-spec checking vs minimize-then-compose", runE18},
 		{"e19", "Determinized on-the-fly game: nondeterministic specs vs minimize-then-compose", runE19},
+		{"e20", "Persistent artifact store: cold vs warm across a service restart", runE20},
 	}
 }
 

@@ -49,6 +49,7 @@ import (
 	"ccs/internal/kequiv"
 	"ccs/internal/lts"
 	"ccs/internal/simulation"
+	"ccs/internal/store"
 )
 
 // Relation selects an equivalence notion for a batch query. It mirrors the
@@ -125,6 +126,7 @@ type Result struct {
 // per-process artifact cache. The zero value is not usable; call New.
 type Checker struct {
 	opts []core.Option
+	st   *store.Store // optional persistent tier; nil means memory-only
 
 	mu        sync.Mutex
 	procs     map[*fsp.FSP]*artifacts
@@ -135,11 +137,33 @@ type Checker struct {
 // New returns an empty Checker. Options (e.g. core.WithAlgorithm) are
 // passed through to every partition solve.
 func New(opts ...core.Option) *Checker {
+	return NewWithStore(nil, opts...)
+}
+
+// NewWithStore returns a Checker backed by a persistent artifact store: the
+// in-memory sync.Once cache stays the first tier, but on a memory miss each
+// artifact derivation first consults st (keyed by the process's structural
+// fingerprint, guarded by a second independent fingerprint), and every
+// freshly derived artifact is spilled back. A nil st is the same as New.
+func NewWithStore(st *store.Store, opts ...core.Option) *Checker {
 	return &Checker{
 		opts:   opts,
+		st:     st,
 		procs:  map[*fsp.FSP]*artifacts{},
 		byHash: map[uint64][]*artifacts{},
 	}
+}
+
+// Store returns the persistent tier, or nil for a memory-only Checker.
+func (c *Checker) Store() *store.Store { return c.st }
+
+// StoreStats reports the persistent tier's counters; ok is false for a
+// memory-only Checker.
+func (c *Checker) StoreStats() (s store.Stats, ok bool) {
+	if c.st == nil {
+		return store.Stats{}, false
+	}
+	return c.st.Stats(), true
 }
 
 // artifacts caches the derived forms of one process. Each field group is
@@ -147,6 +171,13 @@ func New(opts ...core.Option) *Checker {
 // once; later queries get the memoized value immediately.
 type artifacts struct {
 	f *fsp.FSP
+
+	// fp is the structural fingerprint (the store key), computed when the
+	// record is created; fp2 is the independent collision-guard hash,
+	// derived lazily because it is only needed when a store is attached.
+	fp      uint64
+	fp2Once sync.Once
+	fp2     uint64
 
 	closureOnce sync.Once
 	closure     fsp.Closure
@@ -206,7 +237,7 @@ func (c *Checker) art(p *fsp.FSP) *artifacts {
 			return a
 		}
 	}
-	a := &artifacts{f: p}
+	a := &artifacts{f: p, fp: h}
 	c.procs[p] = a
 	c.byHash[h] = append(c.byHash[h], a)
 	c.canonical++
@@ -235,10 +266,30 @@ func (c *Checker) Processes() int {
 	return c.canonical
 }
 
+// keys returns the store key (the structural fingerprint) and the
+// collision-guard fingerprint of a's process, deriving the second hash
+// lazily: it is only paid on records that actually talk to the store.
+func (c *Checker) keys(a *artifacts) (fp, fp2 uint64) {
+	a.fp2Once.Do(func() { a.fp2 = fsp.Fingerprint2(a.f) })
+	return a.fp, a.fp2
+}
+
 // Closure returns the memoized tau-closure of p.
 func (c *Checker) Closure(p *fsp.FSP) fsp.Closure {
 	a := c.art(p)
-	a.closureOnce.Do(func() { a.closure = fsp.TauClosure(p) })
+	a.closureOnce.Do(func() {
+		if c.st != nil {
+			fp, fp2 := c.keys(a)
+			if clo, ok := c.st.GetClosure(fp, fp2); ok && clo.NumStates() == p.NumStates() {
+				a.closure = clo
+				return
+			}
+			a.closure = fsp.TauClosure(p)
+			c.st.PutClosure(fp, fp2, a.closure)
+			return
+		}
+		a.closure = fsp.TauClosure(p)
+	})
 	return a.closure
 }
 
@@ -248,20 +299,67 @@ func (c *Checker) Closure(p *fsp.FSP) fsp.Closure {
 // re-flattening the processes.
 func (c *Checker) Index(p *fsp.FSP) *lts.Index {
 	a := c.art(p)
-	a.idxOnce.Do(func() { a.idx = core.IndexOf(p) })
+	a.idxOnce.Do(func() {
+		if c.st != nil {
+			fp, fp2 := c.keys(a)
+			if idx, ok := c.st.GetIndex(fp, fp2); ok && idx.N() == p.NumStates() {
+				a.idx = idx
+				return
+			}
+			a.idx = core.IndexOf(p)
+			c.st.PutIndex(fp, fp2, a.idx)
+			return
+		}
+		a.idx = core.IndexOf(p)
+	})
 	return a.idx
 }
 
 // Saturated returns the memoized observable form P-hat of Theorem 4.1(a)
 // together with its epsilon action. It builds on the memoized tau-closure,
-// so Closure and Saturated share one closure computation.
+// so Closure and Saturated share one closure computation. With a store
+// attached, a warm hit skips both the closure and the saturation; the
+// epsilon action is recovered from the stored form's own alphabet.
 func (c *Checker) Saturated(p *fsp.FSP) (*fsp.FSP, fsp.Action, error) {
 	a := c.art(p)
 	a.satOnce.Do(func() {
 		defer derivationGuard(&a.satErr)
+		if c.st != nil {
+			fp, fp2 := c.keys(a)
+			if sat, ok := c.st.GetFSP(fp, fp2, store.KindSaturated); ok {
+				if eps, ok := sat.Alphabet().Lookup(fsp.EpsilonName); ok {
+					a.sat, a.satEps = sat, eps
+					return
+				}
+				// A saturated form without epsilon is not one; fall
+				// through and rebuild (the entry ages out via the LRU).
+			}
+			a.sat, a.satEps, a.satErr = fsp.SaturateWith(p, c.Closure(p))
+			if a.satErr == nil {
+				c.st.PutFSP(fp, fp2, store.KindSaturated, a.sat)
+			}
+			return
+		}
 		a.sat, a.satEps, a.satErr = fsp.SaturateWith(p, c.Closure(p))
 	})
 	return a.sat, a.satEps, a.satErr
+}
+
+// quotient is the common store-tier shape of the three quotient accessors:
+// consult the store under kind, else derive and spill.
+func (c *Checker) quotient(a *artifacts, kind store.Kind, derive func() (*fsp.FSP, error)) (*fsp.FSP, error) {
+	if c.st != nil {
+		fp, fp2 := c.keys(a)
+		if min, ok := c.st.GetFSP(fp, fp2, kind); ok {
+			return min, nil
+		}
+		min, err := derive()
+		if err == nil {
+			c.st.PutFSP(fp, fp2, kind, min)
+		}
+		return min, err
+	}
+	return derive()
 }
 
 // StrongQuotient returns the memoized canonical quotient of p modulo ~.
@@ -269,7 +367,10 @@ func (c *Checker) StrongQuotient(p *fsp.FSP) (*fsp.FSP, error) {
 	a := c.art(p)
 	a.strongOnce.Do(func() {
 		defer derivationGuard(&a.strongErr)
-		a.strongMin, _, a.strongErr = core.QuotientStrong(p, c.opts...)
+		a.strongMin, a.strongErr = c.quotient(a, store.KindStrongMin, func() (*fsp.FSP, error) {
+			min, _, err := core.QuotientStrong(p, c.opts...)
+			return min, err
+		})
 	})
 	return a.strongMin, a.strongErr
 }
@@ -279,7 +380,10 @@ func (c *Checker) WeakQuotient(p *fsp.FSP) (*fsp.FSP, error) {
 	a := c.art(p)
 	a.weakOnce.Do(func() {
 		defer derivationGuard(&a.weakErr)
-		a.weakMin, _, a.weakErr = core.QuotientWeak(p, c.opts...)
+		a.weakMin, a.weakErr = c.quotient(a, store.KindWeakMin, func() (*fsp.FSP, error) {
+			min, _, err := core.QuotientWeak(p, c.opts...)
+			return min, err
+		})
 	})
 	return a.weakMin, a.weakErr
 }
@@ -291,7 +395,10 @@ func (c *Checker) CongruenceQuotient(p *fsp.FSP) (*fsp.FSP, error) {
 	a := c.art(p)
 	a.congOnce.Do(func() {
 		defer derivationGuard(&a.congErr)
-		a.congMin, _, a.congErr = core.QuotientCongruence(p, c.opts...)
+		a.congMin, a.congErr = c.quotient(a, store.KindCongMin, func() (*fsp.FSP, error) {
+			min, _, err := core.QuotientCongruence(p, c.opts...)
+			return min, err
+		})
 	})
 	return a.congMin, a.congErr
 }

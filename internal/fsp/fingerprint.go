@@ -52,8 +52,25 @@ func extNames(f *FSP, s State, buf []string) []string {
 // processes (see StructuralEqual), and invariant under the interning order
 // of the alphabet and variable table. The process name is deliberately not
 // hashed — renaming a process does not change what it is.
-func Fingerprint(f *FSP) uint64 {
+func Fingerprint(f *FSP) uint64 { return fingerprint(f, 0) }
+
+// Fingerprint2 is a second structural hash over the same canonical walk,
+// independent of Fingerprint by a seed perturbation. The persistent
+// artifact store keys entries by Fingerprint and records Fingerprint2
+// inside each entry as a collision guard: a different process that happens
+// to collide on the 64-bit key is rejected on the second hash instead of
+// yielding someone else's artifact.
+func Fingerprint2(f *FSP) uint64 { return fingerprint(f, 0x9e3779b97f4a7c15) }
+
+func fingerprint(f *FSP, seed uint64) uint64 {
 	h := fnv.New64a()
+	if seed != 0 {
+		var s [8]byte
+		for i := range s {
+			s[i] = byte(seed >> (8 * i))
+		}
+		h.Write(s[:])
+	}
 	var word [8]byte
 	writeInt := func(v int) {
 		word[0], word[1], word[2], word[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)

@@ -1,0 +1,249 @@
+// Package server exposes the equivalence checker as an HTTP/JSON service
+// — equivalence-as-a-service over the one request schema the facade and
+// the CLI already speak (ccs.CheckRequest / ccs.Report, schema.go).
+//
+// Endpoints:
+//
+//	GET  /healthz     liveness probe, "ok"
+//	POST /v1/check    one pair CheckRequest  -> one Report
+//	POST /v1/network  one network CheckRequest -> one Report
+//	POST /v1/batch    a request document (envelope, array, or single
+//	                  object) -> a versioned ReportEnvelope
+//	GET  /v1/stats    ccs.ServerStats: query counters, admission state,
+//	                  checker cache and artifact-store counters
+//
+// Requests must be self-contained: process sources are inline interchange
+// text or "expr:" expressions, never file paths (the loader is nil). A
+// syntactically malformed body, or a single request whose content is
+// rejected (unknown relation, unparsable process, bad route), answers 400
+// with the typed report error in the body; batch documents always answer
+// 200 with per-request errors in-band, so one bad query cannot hide the
+// other verdicts. Admission control bounds concurrently served requests;
+// excess load answers 429 + Retry-After rather than queueing without
+// bound. Per-query timeouts (request timeout_ms, capped by the server's
+// MaxTimeout) turn into in-band "timeout" report errors, keeping the
+// connection's answer well-formed.
+//
+// The Server holds one long-lived ccs.Checker, so the in-memory artifact
+// cache warms across requests; with a store-backed Checker
+// (ccs.NewStoreChecker) the warmth additionally survives restarts.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ccs"
+)
+
+// Config configures a Server. The zero value of every field but Checker
+// picks a sensible default.
+type Config struct {
+	// Checker answers the queries; required. Share one across the
+	// process: its caches are the service's warmth.
+	Checker *ccs.Checker
+	// Workers bounds each batch request's worker pool (<= 0: GOMAXPROCS).
+	Workers int
+	// MaxInFlight bounds concurrently served check requests; further
+	// requests answer 429. <= 0 selects 2*GOMAXPROCS.
+	MaxInFlight int
+	// MaxTimeout caps (and, when a request names none, sets) the
+	// per-query timeout. 0 means no server-imposed bound.
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps request body size. <= 0 selects 16 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP face of a ccs.Checker. Construct with New; serve its
+// Handler.
+type Server struct {
+	cfg      Config
+	sem      chan struct{}
+	queries  atomic.Int64
+	failed   atomic.Int64
+	rejected atomic.Int64
+}
+
+// New validates the config and returns a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Checker == nil {
+		return nil, fmt.Errorf("server: config needs a Checker")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 16 << 20
+	}
+	return &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}, nil
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("POST /v1/check", s.handleSingle(false))
+	mux.HandleFunc("POST /v1/network", s.handleSingle(true))
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// admit reserves an admission slot, answering 429 when the server is at
+// MaxInFlight. The returned release must be called iff ok.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error": fmt.Sprintf("server at capacity (%d in flight)", s.cfg.MaxInFlight),
+		})
+		return nil, false
+	}
+}
+
+// clampTimeout applies the server's per-query timeout policy in place.
+func (s *Server) clampTimeout(req *ccs.CheckRequest) {
+	if s.cfg.MaxTimeout <= 0 {
+		return
+	}
+	maxMS := s.cfg.MaxTimeout.Milliseconds()
+	if maxMS == 0 {
+		// A sub-millisecond cap still means "bounded", never "no bound".
+		maxMS = 1
+	}
+	if req.TimeoutMS <= 0 || req.TimeoutMS > maxMS {
+		req.TimeoutMS = maxMS
+	}
+}
+
+// handleSingle answers /v1/check (pair) and /v1/network (network): one
+// strict-JSON CheckRequest in, one Report out. Input-level rejections —
+// including a pair request on the network endpoint and vice versa —
+// answer 400 with the report (its typed error says why); completed
+// queries answer 200 even when the report carries a check/timeout error.
+func (s *Server) handleSingle(wantNetwork bool) http.HandlerFunc {
+	endpoint := "/v1/check"
+	if wantNetwork {
+		endpoint = "/v1/network"
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, ok := s.admit(w)
+		if !ok {
+			return
+		}
+		defer release()
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		var req ccs.CheckRequest
+		if err := strictDecode(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if wantNetwork != (req.Network != nil) {
+			rep := ccs.Report{Label: req.Label, Relation: req.Relation, Error: &ccs.ReportError{
+				Kind:    ccs.ErrorKindInput,
+				Message: fmt.Sprintf("%s wants a %s request", endpoint, map[bool]string{true: "network", false: "pair"}[wantNetwork]),
+			}}
+			s.count(rep)
+			writeJSON(w, http.StatusBadRequest, rep)
+			return
+		}
+		s.clampTimeout(&req)
+		rep := s.cfg.Checker.Do(r.Context(), req, nil)
+		s.count(rep)
+		status := http.StatusOK
+		if rep.Error != nil && rep.Error.Kind == ccs.ErrorKindInput {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, rep)
+	}
+}
+
+// handleBatch answers /v1/batch: a request document in any accepted JSON
+// form, a versioned ReportEnvelope out, errors in-band per report.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	reqs, err := ccs.DecodeRequests(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	for i := range reqs {
+		s.clampTimeout(&reqs[i])
+	}
+	reps := s.cfg.Checker.DoAll(r.Context(), reqs, s.cfg.Workers, nil)
+	for _, rep := range reps {
+		s.count(rep)
+	}
+	writeJSON(w, http.StatusOK, ccs.ReportEnvelope{Schema: ccs.SchemaVersion, Reports: reps})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ccs.ServerStats {
+	return ccs.ServerStats{
+		Schema:      ccs.SchemaVersion,
+		Queries:     s.queries.Load(),
+		Failed:      s.failed.Load(),
+		Rejected:    s.rejected.Load(),
+		InFlight:    len(s.sem),
+		MaxInFlight: s.cfg.MaxInFlight,
+		Workers:     ccs.PoolSize(s.cfg.Workers, 1<<30),
+		Checker:     s.cfg.Checker.Stats(),
+	}
+}
+
+func (s *Server) count(rep ccs.Report) {
+	s.queries.Add(1)
+	if rep.Error != nil {
+		s.failed.Add(1)
+	}
+}
+
+// strictDecode unmarshals one JSON object rejecting unknown fields.
+func strictDecode(data []byte, v any) error {
+	reqs, err := ccs.DecodeRequests(data)
+	if err != nil {
+		return err
+	}
+	if len(reqs) != 1 {
+		return fmt.Errorf("endpoint wants exactly one request, got %d", len(reqs))
+	}
+	*(v.(*ccs.CheckRequest)) = reqs[0]
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,402 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ccs"
+)
+
+// inline interchange fixtures. Processes travel inline in server requests
+// (the loader is nil), so every fixture is full interchange text.
+const (
+	inlineTauA = "fsp p\nstates 2\nstart 0\narc 0 tau 1\narc 1 a 0\n"
+	inlineA    = "fsp q\nstates 2\nstart 0\narc 0 a 1\narc 1 a 0\n"
+
+	relayCell = "fsp cell\nstates 3\nstart 0\next 0 x\next 1 x\next 2 x\n" +
+		"arc 0 in 1\narc 1 tau 2\narc 2 out' 0\n"
+	counterTwo = "fsp counter\nstates 3\nstart 0\next 0 x\next 1 x\next 2 x\n" +
+		"arc 0 c0 1\narc 1 c2' 0\narc 1 c0 2\narc 2 c2' 1\n"
+)
+
+// relayNet is the two-cell relay network used across the suite.
+func relayNet(spec string) ccs.NetworkRequest {
+	return ccs.NetworkRequest{
+		Name: "relay2",
+		Components: []ccs.NetworkComponentRef{
+			{Process: relayCell, Relabel: map[string]string{"in": "c0", "out": "c1"}},
+			{Process: relayCell, Relabel: map[string]string{"in": "c1", "out": "c2"}},
+		},
+		Hide: []string{"c1"},
+		Spec: spec,
+	}
+}
+
+// tauChain builds an n-state tau chain in the interchange format. Its
+// weak closure is quadratic, so a large chain makes a reliably slow
+// query for the timeout tests.
+func tauChain(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fsp chain%d\nstates %d\nstart 0\n", n, n)
+	for i := 0; i+1 < n; i++ {
+		fmt.Fprintf(&b, "arc %d tau %d\n", i, i+1)
+	}
+	fmt.Fprintf(&b, "arc %d a 0\n", n-1)
+	return b.String()
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Checker == nil {
+		cfg.Checker = ccs.NewChecker()
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// post sends the request body and decodes the response into out (when
+// non-nil), returning the status code.
+func post(t *testing.T, url string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postReq(t *testing.T, url string, req ccs.CheckRequest) (int, ccs.Report) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ccs.Report
+	status := post(t, url, body, &rep)
+	return status, rep
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestCheckAgreesWithFacade round-trips a verdict gallery through
+// /v1/check and compares every answer with the direct facade call.
+func TestCheckAgreesWithFacade(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	gallery := []struct {
+		relation, p, q string
+	}{
+		{"weak", "expr:a+a", "expr:a"},
+		{"strong", "expr:a+a", "expr:a"},
+		{"strong", "expr:a(b+c)", "expr:ab+ac"},
+		{"trace", "expr:a(b+c)", "expr:ab+ac"},
+		{"simulation", "expr:a(b+c)", "expr:ab+ac"},
+		{"congruence", inlineTauA, inlineA},
+		{"weak", inlineTauA, inlineA},
+		{"k2", "expr:a(b+c)", "expr:ab+ac"},
+	}
+	c := ccs.NewChecker()
+	for _, g := range gallery {
+		status, rep := postReq(t, ts.URL+"/v1/check", ccs.NewCheck(g.relation, g.p, g.q))
+		if status != http.StatusOK || rep.Error != nil {
+			t.Fatalf("%s %q %q: status %d, error %+v", g.relation, g.p, g.q, status, rep.Error)
+		}
+		want := c.Do(t.Context(), ccs.NewCheck(g.relation, g.p, g.q), nil)
+		if want.Error != nil {
+			t.Fatalf("facade failed: %+v", want.Error)
+		}
+		if rep.Equivalent != want.Equivalent {
+			t.Errorf("%s %q %q: server %v, facade %v", g.relation, g.p, g.q, rep.Equivalent, want.Equivalent)
+		}
+		if rep.Route != ccs.RouteDirect {
+			t.Errorf("pair route = %q, want %q", rep.Route, ccs.RouteDirect)
+		}
+	}
+}
+
+func TestNetworkEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, rep := postReq(t, ts.URL+"/v1/network", ccs.NewNetworkCheck("weak", relayNet(counterTwo)))
+	if status != http.StatusOK || rep.Error != nil || !rep.Equivalent {
+		t.Fatalf("relay vs counter: status %d, report %+v", status, rep)
+	}
+	if rep.Route == "" {
+		t.Errorf("network report carries no route")
+	}
+
+	// The same network pinned to each route agrees.
+	for _, route := range []string{"otf", ccs.RouteMTC} {
+		status, rep := postReq(t, ts.URL+"/v1/network",
+			ccs.NewNetworkCheck("weak", relayNet(counterTwo), ccs.WithRoute(route)))
+		if status != http.StatusOK || rep.Error != nil || !rep.Equivalent {
+			t.Fatalf("route %s: status %d, report %+v", route, status, rep)
+		}
+	}
+
+	// Endpoint shape is enforced both ways: a pair request on /v1/network
+	// and a network request on /v1/check answer 400 with a typed input
+	// error.
+	status, rep = postReq(t, ts.URL+"/v1/network", ccs.NewCheck("weak", "expr:a", "expr:a"))
+	if status != http.StatusBadRequest || rep.Error == nil || rep.Error.Kind != ccs.ErrorKindInput {
+		t.Errorf("pair on /v1/network: status %d, report %+v", status, rep)
+	}
+	status, rep = postReq(t, ts.URL+"/v1/check", ccs.NewNetworkCheck("weak", relayNet(counterTwo)))
+	if status != http.StatusBadRequest || rep.Error == nil || rep.Error.Kind != ccs.ErrorKindInput {
+		t.Errorf("network on /v1/check: status %d, report %+v", status, rep)
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"truncated JSON":   `{"relation":"weak"`,
+		"unknown field":    `{"relatoin":"weak","p":"expr:a","q":"expr:a"}`,
+		"two requests":     `[{"relation":"weak","p":"expr:a","q":"expr:a"},{"relation":"weak","p":"expr:a","q":"expr:a"}]`,
+		"future schema":    `{"schema":99,"requests":[]}`,
+		"not JSON at all":  `weak expr:a expr:a`,
+		"wrong value type": `{"relation":42}`,
+	} {
+		if status := post(t, ts.URL+"/v1/check", []byte(body), nil); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, status)
+		}
+	}
+
+	// Content-level rejections carry the typed report error.
+	for name, req := range map[string]ccs.CheckRequest{
+		"unknown relation": ccs.NewCheck("sideways", "expr:a", "expr:a"),
+		"bad route":        ccs.NewCheck("weak", "expr:a", "expr:a", ccs.WithRoute("scenic")),
+		"unparsable":       ccs.NewCheck("weak", "expr:((", "expr:a"),
+		"external ref":     ccs.NewCheck("weak", "some/file.fsp", "expr:a"),
+		"missing q":        {Relation: "weak", P: "expr:a"},
+	} {
+		status, rep := postReq(t, ts.URL+"/v1/check", req)
+		if status != http.StatusBadRequest || rep.Error == nil || rep.Error.Kind != ccs.ErrorKindInput {
+			t.Errorf("%s: status %d, report %+v", name, status, rep)
+		}
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	reqs := []ccs.CheckRequest{
+		ccs.NewCheck("weak", "expr:a+a", "expr:a", ccs.WithLabel("eq")),
+		ccs.NewCheck("strong", "expr:a(b+c)", "expr:ab+ac", ccs.WithLabel("neq")),
+		ccs.NewCheck("sideways", "expr:a", "expr:a", ccs.WithLabel("bad")),
+		ccs.NewNetworkCheck("weak", relayNet(counterTwo), ccs.WithLabel("net")),
+	}
+	body, err := ccs.EncodeRequests(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env ccs.ReportEnvelope
+	// Batch answers 200 even though one request is bad: errors ride
+	// in-band so one bad query cannot hide the other verdicts.
+	if status := post(t, ts.URL+"/v1/batch", body, &env); status != http.StatusOK {
+		t.Fatalf("batch status %d, want 200", status)
+	}
+	if env.Schema != ccs.SchemaVersion || len(env.Reports) != 4 {
+		t.Fatalf("envelope: %+v", env)
+	}
+	if !env.Reports[0].Equivalent || env.Reports[0].Label != "eq" {
+		t.Errorf("report 0: %+v", env.Reports[0])
+	}
+	if env.Reports[1].Equivalent || env.Reports[1].Error != nil {
+		t.Errorf("report 1: %+v", env.Reports[1])
+	}
+	if env.Reports[2].Error == nil || env.Reports[2].Error.Kind != ccs.ErrorKindInput {
+		t.Errorf("report 2: %+v", env.Reports[2])
+	}
+	if !env.Reports[3].Equivalent || env.Reports[3].Error != nil {
+		t.Errorf("report 3: %+v", env.Reports[3])
+	}
+}
+
+// TestTimeoutInBand: a query slower than the server's timeout cap
+// answers 200 with the typed timeout error in the report, not a broken
+// connection.
+func TestTimeoutInBand(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxTimeout: time.Millisecond})
+	chain := tauChain(1500)
+	status, rep := postReq(t, ts.URL+"/v1/check", ccs.NewCheck("weak", chain, tauChain(1499)))
+	if status != http.StatusOK {
+		t.Fatalf("status %d, want 200", status)
+	}
+	if rep.Error == nil || rep.Error.Kind != ccs.ErrorKindTimeout {
+		t.Fatalf("report %+v, want timeout error", rep)
+	}
+
+	// A request asking for more than the cap is clamped down to it.
+	status, rep = postReq(t, ts.URL+"/v1/check",
+		ccs.NewCheck("weak", chain, tauChain(1498), ccs.WithTimeout(time.Hour)))
+	if status != http.StatusOK || rep.Error == nil || rep.Error.Kind != ccs.ErrorKindTimeout {
+		t.Fatalf("clamped request: status %d, report %+v", status, rep)
+	}
+}
+
+// TestAdmissionControl: with the server at capacity further requests
+// answer 429 + Retry-After instead of queueing.
+func TestAdmissionControl(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInFlight: 1})
+	srv.sem <- struct{}{} // occupy the only slot
+	resp, err := http.Post(ts.URL+"/v1/check", "application/json",
+		strings.NewReader(`{"relation":"weak","p":"expr:a","q":"expr:a"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("429 without Retry-After")
+	}
+	if got := srv.Stats().Rejected; got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+	<-srv.sem // release; the server serves again
+	if status, rep := postReq(t, ts.URL+"/v1/check", ccs.NewCheck("weak", "expr:a", "expr:a")); status != http.StatusOK || rep.Error != nil {
+		t.Fatalf("after release: status %d, report %+v", status, rep)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInFlight: 7, Workers: 3})
+	postReq(t, ts.URL+"/v1/check", ccs.NewCheck("weak", "expr:a+a", "expr:a"))
+	postReq(t, ts.URL+"/v1/check", ccs.NewCheck("sideways", "expr:a", "expr:a"))
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ccs.ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Schema != ccs.SchemaVersion || st.Queries != 2 || st.Failed != 1 ||
+		st.MaxInFlight != 7 || st.Workers != 3 || st.InFlight != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Checker.Processes == 0 {
+		t.Errorf("checker stats missing: %+v", st.Checker)
+	}
+	if st.Checker.Store != nil {
+		t.Errorf("memory-only checker reports a store: %+v", st.Checker.Store)
+	}
+}
+
+// TestWarmRestartHitsStore: a store-backed server answers a repeated
+// query from the persistent store after a restart — the serving analogue
+// of the cold-vs-warm benchmark.
+func TestWarmRestartHitsStore(t *testing.T) {
+	dir := t.TempDir()
+	query := ccs.NewCheck("weak", inlineTauA, inlineA)
+
+	cold, err := ccs.NewStoreChecker(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Checker: cold})
+	if status, rep := postReq(t, ts.URL+"/v1/check", query); status != http.StatusOK || rep.Error != nil {
+		t.Fatalf("cold query: status %d, report %+v", status, rep)
+	}
+	if st := cold.Stats().Store; st == nil || st.Writes == 0 {
+		t.Fatalf("cold server wrote nothing: %+v", st)
+	}
+
+	// "Restart": a fresh checker on the same directory.
+	warm, err := ccs.NewStoreChecker(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newTestServer(t, Config{Checker: warm})
+	if status, rep := postReq(t, ts2.URL+"/v1/check", query); status != http.StatusOK || rep.Error != nil {
+		t.Fatalf("warm query: status %d, report %+v", status, rep)
+	}
+	resp, err := http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ccs.ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Checker.Store == nil || st.Checker.Store.Hits == 0 {
+		t.Fatalf("warm server hit nothing: %+v", st.Checker.Store)
+	}
+	if st.Checker.Store.Misses != 0 {
+		t.Errorf("warm server missed: %+v", st.Checker.Store)
+	}
+}
+
+// TestConcurrentRequests hammers every endpoint from many goroutines;
+// its value is under -race.
+func TestConcurrentRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInFlight: 64})
+	batch, err := ccs.EncodeRequests([]ccs.CheckRequest{
+		ccs.NewCheck("weak", "expr:a+a", "expr:a"),
+		ccs.NewNetworkCheck("weak", relayNet(counterTwo)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					resp, err := http.Post(ts.URL+"/v1/check", "application/json",
+						strings.NewReader(`{"relation":"strong","p":"expr:a(b+c)","q":"expr:ab+ac"}`))
+					if err == nil {
+						resp.Body.Close()
+					}
+				case 1:
+					resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(batch))
+					if err == nil {
+						resp.Body.Close()
+					}
+				default:
+					resp, err := http.Get(ts.URL + "/v1/stats")
+					if err == nil {
+						resp.Body.Close()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	status, rep := postReq(t, ts.URL+"/v1/check", ccs.NewCheck("weak", "expr:a", "expr:a"))
+	if status != http.StatusOK || rep.Error != nil || !rep.Equivalent {
+		t.Fatalf("after hammering: status %d, report %+v", status, rep)
+	}
+}

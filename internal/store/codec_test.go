@@ -1,0 +1,159 @@
+package store
+
+import (
+	"testing"
+
+	"ccs/internal/fsp"
+	"ccs/internal/lts"
+)
+
+// The codec tests feed the decoders hostile bytes directly, below the
+// store's header/checksum layer: in the store proper the CRC catches most
+// damage, so these are the paths that defend against a payload that is
+// internally inconsistent (which the CRC, computed over the same bytes,
+// cannot see).
+
+func TestDecodeFSPTruncatedPrefixes(t *testing.T) {
+	f := mustParse(t, fixture)
+	payload := encodeFSP(f)
+	for n := 0; n < len(payload); n++ {
+		if _, err := decodeFSP(payload[:n]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", n)
+		}
+	}
+	if _, err := decodeFSP(append(append([]byte(nil), payload...), 0)); err == nil {
+		t.Fatalf("trailing byte accepted")
+	}
+}
+
+func TestDecodeClosureTruncatedPrefixes(t *testing.T) {
+	f := mustParse(t, fixture)
+	payload := encodeClosure(fsp.TauClosure(f))
+	for n := 0; n < len(payload); n++ {
+		if _, err := decodeClosure(payload[:n]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", n)
+		}
+	}
+}
+
+func TestDecodeIndexTruncatedPrefixes(t *testing.T) {
+	f := mustParse(t, fixture)
+	payload := encodeIndex(lts.FromFSP(f))
+	for n := 0; n < len(payload); n++ {
+		if _, err := decodeIndex(payload[:n]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", n)
+		}
+	}
+}
+
+// TestDecodeFSPBitFlips flips each byte of a valid payload and checks the
+// decoder either errors or produces a well-formed process — never panics.
+// (Some flips yield a different but valid process; that is what the
+// store-level CRC is for.)
+func TestDecodeFSPBitFlips(t *testing.T) {
+	f := mustParse(t, fixture)
+	payload := encodeFSP(f)
+	for i := range payload {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), payload...)
+			mut[i] ^= bit
+			g, err := decodeFSP(mut)
+			if err == nil && (g.NumStates() == 0 || int(g.Start()) >= g.NumStates()) {
+				t.Fatalf("byte %d flip %#x: malformed process accepted", i, bit)
+			}
+		}
+	}
+}
+
+// TestDecodeHugeCountRejected: a corrupt count must be rejected by the
+// bytes-remaining bound before any allocation is attempted.
+func TestDecodeHugeCountRejected(t *testing.T) {
+	e := &encoder{}
+	e.str("X")
+	e.vint(1)
+	e.str("a")
+	e.vint(0)
+	e.uvarint(1 << 40) // states: absurd
+	if _, err := decodeFSP(e.b); err == nil {
+		t.Fatalf("absurd state count accepted")
+	}
+}
+
+func TestDecodeClosureRejectsBadSets(t *testing.T) {
+	// Non-reflexive set: state 0's set does not contain 0.
+	e := &encoder{}
+	e.vint(2) // n
+	e.vint(1) // |set(0)|
+	e.uvarint(1)
+	e.vint(1) // |set(1)|
+	e.uvarint(1)
+	if _, err := decodeClosure(e.b); err == nil {
+		t.Fatalf("non-reflexive closure accepted")
+	}
+	// Out-of-range member.
+	e = &encoder{}
+	e.vint(1)
+	e.vint(2)
+	e.uvarint(0)
+	e.uvarint(5)
+	if _, err := decodeClosure(e.b); err == nil {
+		t.Fatalf("out-of-range closure member accepted")
+	}
+}
+
+func TestDecodeIndexRejectsInconsistentEdges(t *testing.T) {
+	x := lts.FromFSP(mustParse(t, fixture))
+	good := encodeIndex(x)
+	if _, err := decodeIndex(good); err != nil {
+		t.Fatalf("valid index rejected: %v", err)
+	}
+	// Splice in an edge count that disagrees with the degree sum by
+	// re-encoding with one degree bumped.
+	e := &encoder{}
+	e.vint(x.N())
+	e.vint(x.NumLabels())
+	e.vint(0) // no labels
+	start, label, to := x.Fwd()
+	for s := 0; s < x.N(); s++ {
+		d := int(start[s+1] - start[s])
+		if s == 0 {
+			d++
+		}
+		e.vint(d)
+	}
+	e.vint(len(to))
+	for i := range to {
+		e.vint(int(label[i]))
+		e.vint(int(to[i]))
+	}
+	if _, err := decodeIndex(e.b); err == nil {
+		t.Fatalf("degree/edge-count mismatch accepted")
+	}
+}
+
+// TestClosureSingletonSharing: a closure whose sets are all singletons
+// (no tau arcs) round-trips through the set representation.
+func TestClosureAllSingletons(t *testing.T) {
+	f := mustParse(t, "alphabet a\nstates 2\narc 0 a 1\n")
+	clo := fsp.TauClosure(f)
+	got, err := decodeClosure(encodeClosure(clo))
+	if err != nil {
+		t.Fatalf("singleton closure: %v", err)
+	}
+	if !sameClosure(clo, got) {
+		t.Fatalf("singleton closure round trip mismatch")
+	}
+}
+
+// TestFSPNoVarsNoExt: processes without variables or extensions (the
+// common case for generated systems) round-trip.
+func TestFSPNoVarsNoExt(t *testing.T) {
+	f := mustParse(t, "alphabet a b\nstates 3\narc 0 a 1\narc 1 b 2\narc 2 tau 0\n")
+	got, err := decodeFSP(encodeFSP(f))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !fsp.StructuralEqual(f, got) {
+		t.Fatalf("round trip mismatch")
+	}
+}

@@ -1,0 +1,383 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ccs/internal/fsp"
+	"ccs/internal/lts"
+)
+
+// fixture is a small process exercising every feature the codec carries:
+// a named process with tau arcs, several observable actions, an extension
+// variable, and a non-zero start state.
+const fixture = `
+fsp Fixture
+alphabet a b c
+vars x
+states 4
+start 1
+ext 3 x
+arc 0 a 1
+arc 1 tau 2
+arc 1 b 0
+arc 2 c 3
+arc 3 a 3
+`
+
+func mustParse(t *testing.T, text string) *fsp.FSP {
+	t.Helper()
+	f, err := fsp.ParseString(text)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return f
+}
+
+func openStore(t *testing.T, dir string, cap int64) *Store {
+	t.Helper()
+	s, err := Open(dir, cap)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", dir, err)
+	}
+	return s
+}
+
+func sameClosure(a, b fsp.Closure) bool {
+	if a.NumStates() != b.NumStates() {
+		return false
+	}
+	for s := 0; s < a.NumStates(); s++ {
+		x, y := a.Of(fsp.State(s)), b.Of(fsp.State(s))
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sameIndex(a, b *lts.Index) bool {
+	if a.N() != b.N() || a.NumLabels() != b.NumLabels() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	al, bl := a.LabelNames(), b.LabelNames()
+	if len(al) != len(bl) {
+		return false
+	}
+	for i := range al {
+		if al[i] != bl[i] {
+			return false
+		}
+	}
+	as, aa, at := a.Fwd()
+	bs, ba, bt := b.Fwd()
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	for i := range aa {
+		if aa[i] != ba[i] || at[i] != bt[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoundTrip stores one artifact of every kind, reopens the directory
+// in a fresh Store (so nothing is served from in-process state), and
+// checks each artifact comes back equal.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f := mustParse(t, fixture)
+	fp, v2 := fsp.Fingerprint(f), fsp.Fingerprint2(f)
+	clo := fsp.TauClosure(f)
+	idx := lts.FromFSP(f)
+
+	s := openStore(t, dir, 0)
+	s.PutFSP(fp, v2, KindStrongMin, f)
+	s.PutFSP(fp, v2, KindSaturated, f)
+	s.PutClosure(fp, v2, clo)
+	s.PutIndex(fp, v2, idx)
+	if st := s.Stats(); st.Writes != 4 || st.Entries != 4 {
+		t.Fatalf("after 4 puts: %+v", st)
+	}
+
+	s = openStore(t, dir, 0)
+	got, ok := s.GetFSP(fp, v2, KindStrongMin)
+	if !ok || !fsp.StructuralEqual(f, got) {
+		t.Fatalf("FSP round trip: ok=%v equal=%v", ok, ok && fsp.StructuralEqual(f, got))
+	}
+	if got.Name() != f.Name() {
+		t.Fatalf("FSP name round trip: got %q want %q", got.Name(), f.Name())
+	}
+	if _, ok := s.GetFSP(fp, v2, KindSaturated); !ok {
+		t.Fatalf("saturated kind lost")
+	}
+	gc, ok := s.GetClosure(fp, v2)
+	if !ok || !sameClosure(clo, gc) {
+		t.Fatalf("closure round trip failed (ok=%v)", ok)
+	}
+	gi, ok := s.GetIndex(fp, v2)
+	if !ok || !sameIndex(idx, gi) {
+		t.Fatalf("index round trip failed (ok=%v)", ok)
+	}
+	if st := s.Stats(); st.Hits != 4 || st.Misses != 0 {
+		t.Fatalf("after 4 warm gets: %+v", st)
+	}
+}
+
+func TestMissCounts(t *testing.T) {
+	s := openStore(t, t.TempDir(), 0)
+	if _, ok := s.GetFSP(1, 2, KindWeakMin); ok {
+		t.Fatalf("hit on empty store")
+	}
+	if _, ok := s.GetClosure(1, 2); ok {
+		t.Fatalf("hit on empty store")
+	}
+	if st := s.Stats(); st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("stats after cold gets: %+v", st)
+	}
+}
+
+// TestCorruptEntryIsColdMiss flips one payload byte of each stored entry
+// and verifies the store treats every one as a miss, deletes the file, and
+// never panics or serves a wrong artifact.
+func TestCorruptEntryIsColdMiss(t *testing.T) {
+	dir := t.TempDir()
+	f := mustParse(t, fixture)
+	fp, v2 := fsp.Fingerprint(f), fsp.Fingerprint2(f)
+
+	s := openStore(t, dir, 0)
+	s.PutFSP(fp, v2, KindStrongMin, f)
+	name := entryName(fp, KindStrongMin)
+	path := filepath.Join(dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt every byte position in turn, checksum included.
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := openStore(t, dir, 0)
+		if got, ok := s.GetFSP(fp, v2, KindStrongMin); ok {
+			// A flip may leave the entry readable only if it decodes to
+			// the same process (it cannot: the checksum covers the
+			// payload and the header fields are all load-bearing).
+			t.Fatalf("byte %d: corrupt entry served (equal=%v)", i, fsp.StructuralEqual(f, got))
+		}
+		if st := s.Stats(); st.Misses != 1 {
+			t.Fatalf("byte %d: stats %+v", i, st)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("byte %d: corrupt entry not deleted", i)
+		}
+	}
+}
+
+// TestTruncatedEntryIsColdMiss simulates a torn write that somehow reached
+// the real name (e.g. filesystem damage): every prefix of a valid entry
+// must read as a miss.
+func TestTruncatedEntryIsColdMiss(t *testing.T) {
+	dir := t.TempDir()
+	f := mustParse(t, fixture)
+	fp, v2 := fsp.Fingerprint(f), fsp.Fingerprint2(f)
+
+	s := openStore(t, dir, 0)
+	s.PutFSP(fp, v2, KindWeakMin, f)
+	path := filepath.Join(dir, entryName(fp, KindWeakMin))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		if err := os.WriteFile(path, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := openStore(t, dir, 0)
+		if _, ok := s.GetFSP(fp, v2, KindWeakMin); ok {
+			t.Fatalf("truncation to %d bytes served an artifact", n)
+		}
+	}
+}
+
+// TestCollisionGuard stores an artifact under process P's fingerprint and
+// asks for it with a different verify fingerprint, as would happen if a
+// distinct process Q collided with P on the 64-bit key. The second hash
+// must reject the entry.
+func TestCollisionGuard(t *testing.T) {
+	dir := t.TempDir()
+	f := mustParse(t, fixture)
+	fp, v2 := fsp.Fingerprint(f), fsp.Fingerprint2(f)
+
+	s := openStore(t, dir, 0)
+	s.PutFSP(fp, v2, KindStrongMin, f)
+	if _, ok := s.GetFSP(fp, v2+1, KindStrongMin); ok {
+		t.Fatalf("collision guard did not reject mismatched verify fingerprint")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("collision stats: %+v", st)
+	}
+}
+
+// TestKindConfusion renames an entry to another kind's name; the kind byte
+// in the header must reject it.
+func TestKindConfusion(t *testing.T) {
+	dir := t.TempDir()
+	f := mustParse(t, fixture)
+	fp, v2 := fsp.Fingerprint(f), fsp.Fingerprint2(f)
+
+	s := openStore(t, dir, 0)
+	s.PutFSP(fp, v2, KindStrongMin, f)
+	if err := os.Rename(
+		filepath.Join(dir, entryName(fp, KindStrongMin)),
+		filepath.Join(dir, entryName(fp, KindWeakMin)),
+	); err != nil {
+		t.Fatal(err)
+	}
+	s = openStore(t, dir, 0)
+	if _, ok := s.GetFSP(fp, v2, KindWeakMin); ok {
+		t.Fatalf("entry renamed across kinds was served")
+	}
+}
+
+// TestEviction fills a tiny store past its cap and checks the
+// least-recently-used entries fall out, on Put and on Open.
+func TestEviction(t *testing.T) {
+	dir := t.TempDir()
+	f := mustParse(t, fixture)
+	v2 := fsp.Fingerprint2(f)
+	one := int64(len(encodeFSP(f)) + headerLen)
+
+	s := openStore(t, dir, 3*one)
+	for fp := uint64(1); fp <= 4; fp++ {
+		s.PutFSP(fp, v2, KindStrongMin, f)
+	}
+	st := s.Stats()
+	if st.Entries != 3 || st.Evictions != 1 || st.Bytes != 3*one {
+		t.Fatalf("after overflow: %+v", st)
+	}
+	if _, ok := s.GetFSP(1, v2, KindStrongMin); ok {
+		t.Fatalf("oldest entry survived eviction")
+	}
+	// Touch entry 2 so entry 3 is now least recently used, then overflow.
+	if _, ok := s.GetFSP(2, v2, KindStrongMin); !ok {
+		t.Fatalf("entry 2 missing")
+	}
+	s.PutFSP(5, v2, KindStrongMin, f)
+	if _, ok := s.GetFSP(3, v2, KindStrongMin); ok {
+		t.Fatalf("LRU order ignored: entry 3 should have been evicted")
+	}
+	if _, ok := s.GetFSP(2, v2, KindStrongMin); !ok {
+		t.Fatalf("recently used entry 2 evicted")
+	}
+
+	// Reopening with a smaller cap trims the inherited directory.
+	s = openStore(t, dir, one)
+	if st := s.Stats(); st.Entries != 1 || st.Bytes > one {
+		t.Fatalf("open under smaller cap: %+v", st)
+	}
+}
+
+// TestOversizedEntrySkipped: an artifact larger than the whole cache is
+// never written.
+func TestOversizedEntrySkipped(t *testing.T) {
+	dir := t.TempDir()
+	f := mustParse(t, fixture)
+	s := openStore(t, dir, 8)
+	s.PutFSP(fsp.Fingerprint(f), fsp.Fingerprint2(f), KindStrongMin, f)
+	if st := s.Stats(); st.Entries != 0 || st.Writes != 0 {
+		t.Fatalf("oversized entry stored: %+v", st)
+	}
+}
+
+// TestOpenCleansTempFiles: leftovers from a writer killed mid-Put are
+// removed at Open and never adopted as entries.
+func TestOpenCleansTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, tmpPrefix+"123456")
+	if err := os.WriteFile(tmp, []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	junk := filepath.Join(dir, "README")
+	if err := os.WriteFile(junk, []byte("not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openStore(t, dir, 0)
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived Open")
+	}
+	if _, err := os.Stat(junk); err != nil {
+		t.Fatalf("non-entry file was touched: %v", err)
+	}
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("junk adopted as entries: %+v", st)
+	}
+}
+
+// TestConcurrentAccess hammers one store from many goroutines mixing puts,
+// hits, misses and corruption-triggered discards; run with -race.
+func TestConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	f := mustParse(t, fixture)
+	v2 := fsp.Fingerprint2(f)
+	one := int64(len(encodeFSP(f)) + headerLen)
+	s := openStore(t, dir, 8*one)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				fp := uint64(i % 16)
+				s.PutFSP(fp, v2, KindStrongMin, f)
+				if got, ok := s.GetFSP(fp, v2, KindStrongMin); ok && !fsp.StructuralEqual(f, got) {
+					t.Errorf("wrong artifact served")
+					return
+				}
+				s.GetFSP(fp, v2+uint64(g%2), KindStrongMin) // half are guard misses
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Entries > 8 || st.Bytes > 8*one {
+		t.Fatalf("cap exceeded: %+v", st)
+	}
+}
+
+// TestEntryNameShape pins the on-disk naming scheme.
+func TestEntryNameShape(t *testing.T) {
+	if got := entryName(0xdeadbeef, KindWeakMin); got != "00000000deadbeef.weak" {
+		t.Fatalf("entryName = %q", got)
+	}
+	for _, tc := range []struct {
+		name string
+		ok   bool
+	}{
+		{"00000000deadbeef.weak", true},
+		{"00000000deadbeef.zzz", true}, // unknown kind: adopted, never served
+		{"00000000DEADBEEF.weak", false},
+		{"short.weak", false},
+		{"00000000deadbeefXweak", false},
+		{fmt.Sprintf("%016x.", 1), false},
+	} {
+		if got := validEntryName(tc.name); got != tc.ok {
+			t.Errorf("validEntryName(%q) = %v, want %v", tc.name, got, tc.ok)
+		}
+	}
+}

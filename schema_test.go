@@ -1,0 +1,209 @@
+package ccs_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ccs"
+)
+
+func TestRequestJSONRoundTrip(t *testing.T) {
+	reqs := []ccs.CheckRequest{
+		ccs.NewCheck("weak", "expr:a+a", "expr:a", ccs.WithLabel("pair")),
+		ccs.NewNetworkCheck("strong", ccs.NetworkRequest{
+			Name:       "net",
+			Components: []ccs.NetworkComponentRef{{Process: "expr:a", Relabel: map[string]string{"a": "b"}}},
+			Hide:       []string{"b"},
+			Spec:       "expr:0",
+		}, ccs.WithRoute(ccs.RouteMTC), ccs.WithK(2)),
+	}
+	data, err := ccs.EncodeRequests(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ccs.DecodeRequests(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Label != "pair" || back[1].Network == nil ||
+		back[1].Network.Components[0].Relabel["a"] != "b" || back[1].Route != ccs.RouteMTC || back[1].K != 2 {
+		t.Fatalf("round trip mangled requests: %+v", back)
+	}
+}
+
+func TestDecodeRequestsForms(t *testing.T) {
+	// Bare array.
+	reqs, err := ccs.DecodeRequests([]byte(`[{"relation":"weak","p":"expr:a","q":"expr:a"}]`))
+	if err != nil || len(reqs) != 1 || reqs[0].Relation != "weak" {
+		t.Fatalf("bare array: %v %+v", err, reqs)
+	}
+	// Single object.
+	reqs, err = ccs.DecodeRequests([]byte(`{"relation":"strong","p":"expr:a","q":"expr:a"}`))
+	if err != nil || len(reqs) != 1 || reqs[0].Relation != "strong" {
+		t.Fatalf("single object: %v %+v", err, reqs)
+	}
+	// Envelope.
+	reqs, err = ccs.DecodeRequests([]byte(`{"schema":1,"requests":[{"relation":"trace","p":"expr:a","q":"expr:a"}]}`))
+	if err != nil || len(reqs) != 1 || reqs[0].Relation != "trace" {
+		t.Fatalf("envelope: %v %+v", err, reqs)
+	}
+	// Future schema rejected.
+	if _, err = ccs.DecodeRequests([]byte(`{"schema":999,"requests":[]}`)); err == nil {
+		t.Fatalf("future schema accepted")
+	}
+	// Unknown fields rejected.
+	if _, err = ccs.DecodeRequests([]byte(`{"relatoin":"weak","p":"x","q":"y"}`)); err == nil {
+		t.Fatalf("misspelled field accepted")
+	}
+	// Invalid JSON rejected.
+	if _, err = ccs.DecodeRequests([]byte(`{`)); err == nil {
+		t.Fatalf("truncated JSON accepted")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	c := ccs.NewChecker()
+	reps := c.DoAll(context.Background(), []ccs.CheckRequest{
+		ccs.NewCheck("weak", "expr:a+a", "expr:a", ccs.WithLabel("ok")),
+		ccs.NewCheck("nope", "expr:a", "expr:a", ccs.WithLabel("bad")),
+	}, 0, nil)
+	data, err := ccs.EncodeReports(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ccs.DecodeReports(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || !back[0].Equivalent || back[0].Label != "ok" {
+		t.Fatalf("report 0 mangled: %+v", back)
+	}
+	if back[1].Error == nil || back[1].Error.Kind != ccs.ErrorKindInput {
+		t.Fatalf("report 1 mangled: %+v", back)
+	}
+}
+
+func TestParseBatchList(t *testing.T) {
+	list := `
+# comment
+weak expr:a+a expr:a
+expr:ab expr:ab
+trace fileA fileB
+`
+	reqs, err := ccs.ParseBatchList(strings.NewReader(list), "strong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("want 3 requests, got %d", len(reqs))
+	}
+	if reqs[0].Relation != "weak" || reqs[1].Relation != "strong" || reqs[2].Relation != "trace" {
+		t.Fatalf("relations: %+v", reqs)
+	}
+	if reqs[2].P != "fileA" || reqs[2].Q != "fileB" {
+		t.Fatalf("file refs: %+v", reqs[2])
+	}
+	if reqs[0].Label == "" {
+		t.Fatalf("labels missing: %+v", reqs[0])
+	}
+
+	for name, bad := range map[string]string{
+		"empty":             "\n# only comments\n",
+		"dangling relation": "weak expr:a\n",
+		"too many fields":   "weak a b c\n",
+		"unknown relation":  "sideways a b\n",
+	} {
+		if _, err := ccs.ParseBatchList(strings.NewReader(bad), "strong"); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseRequestsSniffsJSON(t *testing.T) {
+	reqs, err := ccs.ParseRequests(strings.NewReader(`  {"relation":"weak","p":"expr:a","q":"expr:a"}`), "strong")
+	if err != nil || len(reqs) != 1 || reqs[0].Relation != "weak" {
+		t.Fatalf("json sniff: %v %+v", err, reqs)
+	}
+	reqs, err = ccs.ParseRequests(strings.NewReader("weak expr:a expr:a\n"), "strong")
+	if err != nil || len(reqs) != 1 {
+		t.Fatalf("text sniff: %v %+v", err, reqs)
+	}
+}
+
+func TestParseNetworkDescription(t *testing.T) {
+	desc := `
+name chain
+component cell.fsp a=b
+component cell.fsp
+hide mid
+spec spec.fsp
+rel weak
+`
+	nr, rel, err := ccs.ParseNetworkDescription(strings.NewReader(desc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.Name != "chain" || len(nr.Components) != 2 || nr.Spec != "spec.fsp" || rel != "weak" {
+		t.Fatalf("parsed: %+v rel=%q", nr, rel)
+	}
+	if nr.Components[0].Relabel["a"] != "b" || nr.Components[1].Relabel != nil {
+		t.Fatalf("relabels: %+v", nr.Components)
+	}
+	if len(nr.Hide) != 1 || nr.Hide[0] != "mid" {
+		t.Fatalf("hide: %+v", nr.Hide)
+	}
+
+	for name, bad := range map[string]string{
+		"no components": "hide x\n",
+		"bad relabel":   "component a x\n",
+		"bad directive": "compnent a\n",
+		"spec arity":    "component a\nspec\n",
+	} {
+		if _, _, err := ccs.ParseNetworkDescription(strings.NewReader(bad)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+// TestSchemaAgreesWithFacade replays a parsed batch list through Do and
+// checks the verdicts match the legacy facade calls — the "one schema
+// everywhere" guarantee.
+func TestSchemaAgreesWithFacade(t *testing.T) {
+	list := strings.Join([]string{
+		"weak expr:a+a expr:a",
+		"strong expr:a+a expr:a",
+		"trace expr:a(b+c) expr:ab+ac",
+		"congruence expr:ab expr:ab",
+	}, "\n")
+	reqs, err := ccs.ParseBatchList(strings.NewReader(list), "strong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ccs.NewChecker()
+	reps := c.DoAll(context.Background(), reqs, 0, nil)
+	for i, req := range reqs {
+		rel, k, err := ccs.ParseRelation(req.Relation)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := mustExprTest(t, strings.TrimPrefix(req.P, "expr:"))
+		q := mustExprTest(t, strings.TrimPrefix(req.Q, "expr:"))
+		want, err := ccs.Equivalent(p, q, rel, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reps[i].Error != nil || reps[i].Equivalent != want {
+			t.Fatalf("request %d (%s): report %+v, facade %v", i, req.Label, reps[i], want)
+		}
+	}
+}
+
+func mustExprTest(t *testing.T, src string) *ccs.Process {
+	t.Helper()
+	p, err := ccs.FromExpression(src)
+	if err != nil {
+		t.Fatalf("FromExpression(%q): %v", src, err)
+	}
+	return p
+}
