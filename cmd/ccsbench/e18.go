@@ -20,14 +20,14 @@ import (
 var e18JSONPath string
 
 type e18Row struct {
-	Entry     string  `json:"entry"`
-	Expect    bool    `json:"expect_equivalent"`
-	MTCStates int     `json:"mtc_product_states"`
-	MTCNS     int64   `json:"minimize_then_compose_ns"`
-	OTFNS     int64   `json:"on_the_fly_ns"`
-	OTFPairs  int     `json:"otf_pairs"`
-	OTFDepth  int     `json:"otf_depth"`
-	Speedup   float64 `json:"speedup"`
+	Entry       string  `json:"entry"`
+	Expect      bool    `json:"expect_equivalent"`
+	MTCStates   int     `json:"mtc_product_states"`
+	MTCNS       int64   `json:"minimize_then_compose_ns"`
+	OTFNS       int64   `json:"on_the_fly_ns"`
+	OTFPairs    int     `json:"otf_pairs"`
+	OTFExplored int     `json:"otf_explored"`
+	Speedup     float64 `json:"speedup"`
 }
 
 type e18Report struct {
@@ -136,14 +136,14 @@ func runE18(w io.Writer, seed int64, quick bool) error {
 			mtcT.Round(time.Microsecond), otfT.Round(time.Microsecond),
 			info.Pairs, speedup, otfVerdict)
 		report.Rows = append(report.Rows, e18Row{
-			Entry:     tc.name,
-			Expect:    tc.expect,
-			MTCStates: mtcStates,
-			MTCNS:     mtcT.Nanoseconds(),
-			OTFNS:     otfT.Nanoseconds(),
-			OTFPairs:  info.Pairs,
-			OTFDepth:  info.Depth,
-			Speedup:   speedup,
+			Entry:       tc.name,
+			Expect:      tc.expect,
+			MTCStates:   mtcStates,
+			MTCNS:       mtcT.Nanoseconds(),
+			OTFNS:       otfT.Nanoseconds(),
+			OTFPairs:    info.Pairs,
+			OTFExplored: info.Explored,
+			Speedup:     speedup,
 		})
 	}
 	// Like E16/E17, the perf floor is asserted on full runs only; quick

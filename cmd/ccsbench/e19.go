@@ -26,7 +26,7 @@ type e19Row struct {
 	MTCNS       int64   `json:"minimize_then_compose_ns"`
 	OTFNS       int64   `json:"on_the_fly_ns"`
 	OTFPairs    int     `json:"otf_pairs"`
-	OTFDepth    int     `json:"otf_depth"`
+	OTFExplored int     `json:"otf_explored"`
 	SpecSubsets int     `json:"otf_spec_subsets"`
 	Speedup     float64 `json:"speedup"`
 }
@@ -147,7 +147,7 @@ func runE19(w io.Writer, seed int64, quick bool) error {
 			MTCNS:       mtcT.Nanoseconds(),
 			OTFNS:       otfT.Nanoseconds(),
 			OTFPairs:    info.Pairs,
-			OTFDepth:    info.Depth,
+			OTFExplored: info.Explored,
 			SpecSubsets: info.SpecSubsets,
 			Speedup:     speedup,
 		})

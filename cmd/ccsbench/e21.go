@@ -1,0 +1,192 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ccs/internal/compose"
+	"ccs/internal/core"
+	"ccs/internal/engine"
+	"ccs/internal/fsp"
+	"ccs/internal/gen"
+	"ccs/internal/otf"
+)
+
+// e21JSONPath, when non-empty, is where runE21 writes its BENCH_E21.json
+// trajectory. main wires it to the -e21json flag; the test harness leaves
+// it empty so test runs produce no files.
+var e21JSONPath string
+
+type e21Row struct {
+	Entry        string  `json:"entry"`
+	Expect       bool    `json:"expect_equivalent"`
+	LegacyStates int     `json:"legacy_component_states"`
+	MinStates    int     `json:"minimal_component_states"`
+	OldNS        int64   `json:"barrier_legacy_ns"`
+	NewNS        int64   `json:"stealing_minimal_ns"`
+	OldPairs     int     `json:"barrier_legacy_pairs"`
+	NewPairs     int     `json:"stealing_minimal_pairs"`
+	NewSteals    int     `json:"stealing_minimal_steals"`
+	NewUtil      float64 `json:"stealing_minimal_utilization"`
+	Speedup      float64 `json:"speedup"`
+}
+
+type e21Report struct {
+	Experiment  string   `json:"experiment"`
+	Description string   `json:"description"`
+	Seed        int64    `json:"seed"`
+	Quick       bool     `json:"quick"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	GeneratedAt string   `json:"generated_at"`
+	Rows        []e21Row `json:"rows"`
+}
+
+// runE21 measures the two hot-path changes of the work-stealing PR
+// together, OLD vs NEW on the same on-the-fly game:
+//
+//   - OLD: level-barrier BFS scheduler over components minimized with the
+//     legacy fresh-root ≈ᶜ quotient (engine.New(core.WithFreshRootQuotient())),
+//   - NEW: the Chase–Lev work-stealing scheduler over the minimal ≈ᶜ
+//     quotients (the defaults).
+//
+// Both sides run the full pipeline — fresh engine, component quotients,
+// then otf.Check with eight workers under GOMAXPROCS(8) — so the timing
+// reflects what a caller pays. The entries split the two effects:
+//
+//   - relay full sweep: relay cells carry no root tau, so the quotients
+//     are identical on both sides and the delta is pure scheduler;
+//   - token-ring full sweep (the CI-gated entry): every idle station has
+//     an in-class root tau, so the legacy quotient pays a fresh root per
+//     station, and since each station leaves its root independently the
+//     reachable pair space inflates to 2^(n-1) prefixes of an otherwise
+//     linear orbit — the minimal quotient collapses it and work stealing
+//     spreads what remains;
+//   - lossy-relay early mismatch: the first-mismatch exit must survive
+//     the scheduler swap — the game stops far short of a full sweep and
+//     still produces a counterexample.
+//
+// Verdicts must agree between OLD and NEW and match the expectation; on
+// full runs the token-ring entry must clear 1.3x — the CI gate.
+func runE21(w io.Writer, seed int64, quick bool) error {
+	relayN, lossyN, ringN := 9, 12, 10
+	if quick {
+		relayN, lossyN, ringN = 4, 5, 4
+	}
+	cases := []struct {
+		name   string
+		net    *compose.Network
+		spec   *fsp.FSP
+		expect bool
+		gated  bool
+	}{
+		{fmt.Sprintf("relay-%d (full sweep)", relayN), gen.RelayNetwork(relayN, 3), gen.CounterSpec(relayN), true, false},
+		{fmt.Sprintf("token-ring-%d (full sweep)", ringN), gen.TokenRing(ringN), gen.TokenRingSpec(), true, true},
+		{fmt.Sprintf("lossy-relay-%d (early mismatch)", lossyN), gen.LossyRelayNetwork(lossyN, 2), gen.CounterSpec(lossyN), false, false},
+	}
+
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	report := e21Report{
+		Experiment:  "E21",
+		Description: "otf hot path: work-stealing scheduler + minimal ≈ᶜ quotients vs level-barrier BFS + legacy fresh-root quotients",
+		Seed:        seed,
+		Quick:       quick,
+		GOMAXPROCS:  8,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	ctx := context.Background()
+
+	// run plays the full pipeline on one side: fresh engine (so the
+	// quotients are recomputed inside the timing), minimize, game.
+	run := func(tc int, opts otf.Options, engOpts ...core.Option) (res *otf.Result, states int, d time.Duration, err error) {
+		c := cases[tc]
+		d = timed(func() {
+			eng := engine.New(engOpts...)
+			minSpec, qerr := eng.CongruenceQuotient(c.spec)
+			if qerr != nil {
+				err = qerr
+				return
+			}
+			minNet, qerr := eng.MinimizeNetwork(c.net, engine.Weak)
+			if qerr != nil {
+				err = qerr
+				return
+			}
+			for _, comp := range minNet.Components {
+				states += comp.P.NumStates()
+			}
+			res, err = otf.Check(ctx, minNet, minSpec, otf.Weak, opts)
+		})
+		return res, states, d, err
+	}
+
+	fmt.Fprintf(w, "%-31s %7s %7s %14s %14s %9s %9s %8s\n",
+		"entry", "old-st", "new-st", "barrier+legacy", "steal+minimal", "old-pairs", "new-pairs", "speedup")
+	var gatedSpeedup float64
+	for i, tc := range cases {
+		oldRes, oldStates, oldT, err := run(i, otf.Options{Workers: 8, Scheduler: otf.LevelBarrier}, core.WithFreshRootQuotient())
+		if err != nil {
+			return fmt.Errorf("e21: %s barrier+legacy: %w", tc.name, err)
+		}
+		newRes, newStates, newT, err := run(i, otf.Options{Workers: 8, Scheduler: otf.WorkStealing})
+		if err != nil {
+			return fmt.Errorf("e21: %s stealing+minimal: %w", tc.name, err)
+		}
+		if oldRes.Equivalent != newRes.Equivalent {
+			return fmt.Errorf("e21: configurations disagree on %s: old=%v new=%v", tc.name, oldRes.Equivalent, newRes.Equivalent)
+		}
+		if newRes.Equivalent != tc.expect {
+			return fmt.Errorf("e21: %s verdict %v, want %v", tc.name, newRes.Equivalent, tc.expect)
+		}
+		if !tc.expect && newRes.Counterexample == nil {
+			return fmt.Errorf("e21: %s inequivalent without a counterexample", tc.name)
+		}
+
+		speedup := float64(oldT) / float64(newT)
+		if tc.gated {
+			gatedSpeedup = speedup
+		}
+		fmt.Fprintf(w, "%-31s %7d %7d %14s %14s %9d %9d %7.1fx\n",
+			tc.name, oldStates, newStates,
+			oldT.Round(time.Microsecond), newT.Round(time.Microsecond),
+			oldRes.Pairs, newRes.Pairs, speedup)
+		report.Rows = append(report.Rows, e21Row{
+			Entry:        tc.name,
+			Expect:       tc.expect,
+			LegacyStates: oldStates,
+			MinStates:    newStates,
+			OldNS:        oldT.Nanoseconds(),
+			NewNS:        newT.Nanoseconds(),
+			OldPairs:     oldRes.Pairs,
+			NewPairs:     newRes.Pairs,
+			NewSteals:    newRes.Steals,
+			NewUtil:      newRes.Utilization,
+			Speedup:      speedup,
+		})
+	}
+	// The perf floor is asserted on full runs only; quick mode is the CI
+	// correctness smoke where the small sizes are all noise.
+	if !quick && gatedSpeedup < 1.3 {
+		return fmt.Errorf("e21: token-ring full sweep speedup %.2fx, want >= 1.3x", gatedSpeedup)
+	}
+	fmt.Fprintln(w, "expect: >= 1.3x on the token-ring full sweep — dropping the fresh root")
+	fmt.Fprintln(w, "        of every idle station deflates the reachable pair space from")
+	fmt.Fprintln(w, "        2^(n-1) root-leaving prefixes to a linear token orbit")
+	if e21JSONPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return fmt.Errorf("e21: %w", err)
+		}
+		if err := os.WriteFile(e21JSONPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("e21: %w", err)
+		}
+		fmt.Fprintf(w, "trajectory written to %s\n", e21JSONPath)
+	}
+	return nil
+}

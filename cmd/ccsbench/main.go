@@ -1,15 +1,17 @@
 // Command ccsbench regenerates the paper's tables and figures as terminal
-// tables — one experiment per artifact, indexed E1..E20 (see DESIGN.md for
+// tables — one experiment per artifact, indexed E1..E21 (see DESIGN.md for
 // the experiment-to-paper mapping and EXPERIMENTS.md for recorded results;
 // E15 measures the batch equivalence engine, E16 the shared CSR refinement
 // kernel, E17 the compositional minimize-then-compose pipeline, E18 the on-the-fly
 // game against minimize-then-compose, E19 the determinized on-the-fly
-// game on nondeterministic specs, and E20 the persistent artifact store's
-// cold-vs-warm restart, rather than paper claims).
+// game on nondeterministic specs, E20 the persistent artifact store's
+// cold-vs-warm restart, and E21 the work-stealing game scheduler plus the
+// minimal ≈ᶜ quotients against the level-barrier/legacy baseline, rather
+// than paper claims).
 //
 // Usage:
 //
-//	ccsbench [-exp e1,...|all] [-seed N] [-quick] [-benchjson FILE] [-e17json FILE] [-e18json FILE] [-e19json FILE] [-e20json FILE]
+//	ccsbench [-exp e1,...|all] [-seed N] [-quick] [-benchjson FILE] [-e17json FILE] [-e18json FILE] [-e19json FILE] [-e20json FILE] [-e21json FILE]
 package main
 
 import (
@@ -21,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e20) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e21) or 'all'")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	benchjson := flag.String("benchjson", "", "file where E16 writes its JSON trajectory (default: not written)")
@@ -29,12 +31,14 @@ func main() {
 	e18json := flag.String("e18json", "", "file where E18 writes its JSON trajectory (default: not written)")
 	e19json := flag.String("e19json", "", "file where E19 writes its JSON trajectory (default: not written)")
 	e20json := flag.String("e20json", "", "file where E20 writes its JSON trajectory (default: not written)")
+	e21json := flag.String("e21json", "", "file where E21 writes its JSON trajectory (default: not written)")
 	flag.Parse()
 	benchJSONPath = *benchjson
 	e17JSONPath = *e17json
 	e18JSONPath = *e18json
 	e19JSONPath = *e19json
 	e20JSONPath = *e20json
+	e21JSONPath = *e21json
 
 	if err := run(os.Stdout, *exp, *seed, *quick); err != nil {
 		fmt.Fprintf(os.Stderr, "ccsbench: %v\n", err)
@@ -70,6 +74,7 @@ func experiments() []experiment {
 		{"e18", "On-the-fly game: lazy product-vs-spec checking vs minimize-then-compose", runE18},
 		{"e19", "Determinized on-the-fly game: nondeterministic specs vs minimize-then-compose", runE19},
 		{"e20", "Persistent artifact store: cold vs warm across a service restart", runE20},
+		{"e21", "Work-stealing otf scheduler + minimal ≈ᶜ quotients vs level-barrier + legacy", runE21},
 	}
 }
 

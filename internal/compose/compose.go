@@ -312,6 +312,65 @@ func (e *Expansion) Succ(cur, succ []int32, emit func(label int32, succ []int32)
 	return true
 }
 
+// SuccBatch accumulates the product successors of one state vector as flat
+// parallel arrays: successor i is (Labels[i], Vec(i)). It exists for
+// callers that need a state's full successor set in hand before acting on
+// it — the on-the-fly checker's work-stealing scheduler turns the fresh
+// children of one processed pair into a single steal-granular deque entry
+// — without the per-successor copy discipline of the Succ callback.
+type SuccBatch struct {
+	K      int     // vector stride
+	Labels []int32 // dense label of successor i
+	Vecs   []int32 // len(Labels) vector windows of stride K
+}
+
+// Reset clears the batch for reuse, keeping capacity.
+func (b *SuccBatch) Reset() {
+	b.Labels = b.Labels[:0]
+	b.Vecs = b.Vecs[:0]
+}
+
+// Len returns the number of buffered successors.
+func (b *SuccBatch) Len() int { return len(b.Labels) }
+
+// Vec returns the i-th successor vector, aliasing the batch's storage.
+func (b *SuccBatch) Vec(i int) []int32 { return b.Vecs[i*b.K : (i+1)*b.K] }
+
+// AppendSucc appends every product successor of cur to b — the same
+// enumeration as Succ (interleavings of unhidden actions, pairwise
+// handshakes as tau), materialized instead of streamed. The batch's
+// storage is self-contained: cur may be reused immediately.
+func (e *Expansion) AppendSucc(cur []int32, b *SuccBatch) {
+	k := len(e.Trans)
+	b.K = k
+	for i := 0; i < k; i++ {
+		for _, a := range e.Trans[i][cur[i]] {
+			if a.Label == 0 || !e.Hidden[a.Label] {
+				base := len(b.Vecs)
+				b.Vecs = append(b.Vecs, cur...)
+				b.Vecs[base+i] = a.To
+				b.Labels = append(b.Labels, a.Label)
+			}
+			if a.Label == 0 {
+				continue
+			}
+			co := e.CoOf[a.Label]
+			if co < 0 {
+				continue
+			}
+			for j := i + 1; j < k; j++ {
+				for _, h := range span(e.Trans[j][cur[j]], co) {
+					base := len(b.Vecs)
+					b.Vecs = append(b.Vecs, cur...)
+					b.Vecs[base+i] = a.To
+					b.Vecs[base+j] = h.To
+					b.Labels = append(b.Labels, 0)
+				}
+			}
+		}
+	}
+}
+
 // AppendExtNames appends the extension of the product state cur — the
 // union of the component extensions by name, sorted and deduplicated — to
 // dst and returns the extended slice. seen is caller-provided scratch,

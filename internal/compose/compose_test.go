@@ -407,3 +407,58 @@ func ExampleNetwork_String() {
 	fmt.Println(net.String())
 	// Output: (S|R)\{a}
 }
+
+// TestAppendSuccMatchesSucc: the batched successor enumeration must agree
+// with the streaming callback — same labels, same vectors, same
+// deterministic order — on every reachable product state of the gallery
+// and a handful of random networks.
+func TestAppendSuccMatchesSucc(t *testing.T) {
+	var nets []*compose.Network
+	for _, entry := range gen.NetworkGallery() {
+		nets = append(nets, entry.Net)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		nets = append(nets, gen.RandomNetwork(rng))
+	}
+	for _, net := range nets {
+		e, err := net.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := e.K()
+		type step struct {
+			label int32
+			vec   string
+		}
+		start := append([]int32(nil), e.Starts...)
+		seen := map[string]bool{fmt.Sprint(start): true}
+		queue := [][]int32{start}
+		var b compose.SuccBatch
+		scratch := make([]int32, k)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			var want []step
+			e.Succ(cur, scratch, func(label int32, succ []int32) bool {
+				want = append(want, step{label, fmt.Sprint(succ)})
+				return true
+			})
+			b.Reset()
+			e.AppendSucc(cur, &b)
+			if b.Len() != len(want) {
+				t.Fatalf("%s at %v: AppendSucc found %d successors, Succ %d", net, cur, b.Len(), len(want))
+			}
+			for j := 0; j < b.Len(); j++ {
+				got := step{b.Labels[j], fmt.Sprint(b.Vec(j))}
+				if got != want[j] {
+					t.Fatalf("%s at %v, successor %d: AppendSucc %v, Succ %v", net, cur, j, got, want[j])
+				}
+				if !seen[got.vec] {
+					seen[got.vec] = true
+					queue = append(queue, append([]int32(nil), b.Vec(j)...))
+				}
+			}
+		}
+	}
+}

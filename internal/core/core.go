@@ -53,7 +53,8 @@ func (a Algorithm) String() string {
 }
 
 type config struct {
-	algo Algorithm
+	algo      Algorithm
+	freshRoot bool
 }
 
 // Option configures the equivalence checkers.
@@ -62,6 +63,17 @@ type Option func(*config)
 // WithAlgorithm selects the partitioning solver.
 func WithAlgorithm(a Algorithm) Option {
 	return func(c *config) { c.algo = a }
+}
+
+// WithFreshRootQuotient makes QuotientCongruence restore the root condition
+// with a fresh duplicated root state (the pre-minimal form: ≈-quotient plus
+// one extra state) instead of the default tau self-loop at the quotient
+// root. The two forms are ≈ᶜ-interchangeable; the legacy shape is retained
+// only as a baseline for benchmarks and differential tests — it re-expands
+// the start-state copy of every composed component, which is exactly the
+// pair-space blowup the minimal form eliminates.
+func WithFreshRootQuotient() Option {
+	return func(c *config) { c.freshRoot = true }
 }
 
 func newConfig(opts []Option) config {

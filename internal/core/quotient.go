@@ -73,10 +73,14 @@ func QuotientWeak(f *fsp.FSP, opts ...Option) (*fsp.FSP, []fsp.State, error) {
 // It is the ≈-quotient except possibly at the root: merging the start
 // state into its ≈-class can erase an initial tau (the tau·a ≈ a but
 // tau·a ≉ᶜ a separation), so when the start has a direct tau move into
-// its own class the quotient gets one extra state — a fresh root carrying
-// the root class's arcs plus an explicit tau into that class, which
-// restores the strengthened root condition. The result therefore has at
-// most one state more than the ≈-quotient.
+// its own class the quotient root gets a tau self-loop, which restores
+// the strengthened root condition without adding a state. The result
+// therefore has exactly one state per ≈-class — it is ≈ᶜ-minimal: no two
+// distinct output states are related by ≈ᶜ (they are not even ≈, being
+// distinct classes, and ≈ᶜ ⊆ ≈).
+//
+// WithFreshRootQuotient restores the legacy shape (fresh duplicated root,
+// one extra state) for baseline comparisons.
 //
 // ≈ᶜ is a congruence for every CCS operator, so the output can replace f
 // inside any compose.Network (composition, restriction, relabeling) for
@@ -98,12 +102,22 @@ func QuotientCongruence(f *fsp.FSP, opts ...Option) (*fsp.FSP, []fsp.State, erro
 //     tau arc of Q0 comes from a representative's epsilon derivative that
 //     leaves the class, which p0 matches with a nonempty tau path, and a
 //     stable p0 yields a stable Q0 (p0 could not leave its class silently).
-//   - Otherwise a fresh root r is appended that duplicates the root
-//     class's arcs plus an explicit tau arc into the root class C: p0's
-//     in-class tau is matched by r --tau--> C (members ≈ C), r's copied
-//     arcs are weak moves of p0's class, and r's extra tau is matched by
-//     p0's own in-class tau move. Hence r ≈ᶜ p0.
+//   - Otherwise Q0 gets a tau self-loop: p0's in-class tau is matched by
+//     Q0 --tau--> Q0 (nonempty, derivative Q0 ≈ p0's in-class derivative),
+//     and the loop itself is matched by that same in-class tau of p0.
+//     Hence Q0 ≈ᶜ p0, at zero extra states. The loop is never redundant:
+//     quotient tau arcs only connect distinct classes, and a nonempty tau
+//     cycle Q0 → … → Q0 through other classes cannot exist (states with
+//     mutual eps-reachability are weakly equivalent, so such classes
+//     would have merged) — the root class can only witness the
+//     strengthened root condition via the loop itself.
+//   - Under WithFreshRootQuotient the legacy shape is produced instead: a
+//     fresh root r duplicating the root class's arcs plus an explicit tau
+//     arc into the root class C. p0's in-class tau is matched by
+//     r --tau--> C (members ≈ C), r's copied arcs are weak moves of p0's
+//     class, and r's extra tau is matched by p0's own in-class tau move.
 func weakQuotient(f *fsp.FSP, suffix string, rootFix bool, opts []Option) (*fsp.FSP, []fsp.State, error) {
+	cfg := newConfig(opts)
 	sat, eps, err := fsp.Saturate(f)
 	if err != nil {
 		return nil, nil, err
@@ -111,20 +125,21 @@ func weakQuotient(f *fsp.FSP, suffix string, rootFix bool, opts []Option) (*fsp.
 	p := StrongPartition(sat, opts...)
 
 	rootBlk := p.Block(int32(f.Start()))
-	freshRoot := false
+	rootTau := false
 	if rootFix {
 		for _, t := range f.Dest(f.Start(), fsp.Tau) {
 			if p.Block(int32(t)) == rootBlk {
-				freshRoot = true
+				rootTau = true
 				break
 			}
 		}
 	}
+	legacyRoot := rootTau && cfg.freshRoot
 
 	b := fsp.NewBuilderWith(f.Name()+suffix, f.Alphabet().Clone(), f.Vars().Clone())
 	b.AddStates(p.NumBlocks())
 	root := fsp.State(rootBlk)
-	if freshRoot {
+	if legacyRoot {
 		root = b.AddState()
 	}
 	b.SetStart(root)
@@ -162,11 +177,17 @@ func weakQuotient(f *fsp.FSP, suffix string, rootFix bool, opts []Option) (*fsp.
 	for blk, rep := range reps {
 		emit(fsp.State(blk), rep, fsp.State(blk))
 	}
-	if freshRoot {
+	switch {
+	case legacyRoot:
 		// The fresh root duplicates the root class's arcs (dropping the
 		// same in-class epsilons) and adds the explicit tau into it.
 		emit(root, reps[rootBlk], fsp.State(rootBlk))
 		b.Arc(root, fsp.Tau, fsp.State(rootBlk))
+	case rootTau:
+		// Minimal form: the self-loop restores the root condition in
+		// place. emit never produces it (in-class epsilons are dropped),
+		// so this is the root class's only tau back to itself.
+		b.Arc(root, fsp.Tau, root)
 	}
 	q, err := b.Build()
 	if err != nil {

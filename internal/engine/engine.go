@@ -388,9 +388,13 @@ func (c *Checker) WeakQuotient(p *fsp.FSP) (*fsp.FSP, error) {
 	return a.weakMin, a.weakErr
 }
 
-// CongruenceQuotient returns the memoized ≈ᶜ-preserving quotient of p
-// (core.QuotientCongruence): the ≈-quotient with the root condition
-// restored, sound to substitute for p inside any network context.
+// CongruenceQuotient returns the memoized ≈ᶜ-minimal quotient of p
+// (core.QuotientCongruence): one state per ≈-class with the root
+// condition restored in place (a root tau self-loop when needed), sound
+// to substitute for p inside any network context. The persistent tier
+// stores it under KindCongMin, whose codec byte was bumped when the
+// quotient went minimal so fresh-root-shaped entries from older stores
+// decode as cold misses.
 func (c *Checker) CongruenceQuotient(p *fsp.FSP) (*fsp.FSP, error) {
 	a := c.art(p)
 	a.congOnce.Do(func() {

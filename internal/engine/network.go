@@ -122,10 +122,19 @@ type OTFInfo struct {
 	// empty, or the determinized game hit essential nondeterminism
 	// (a reachable spec subset mixing inequivalent states).
 	Fallback string
-	// Pairs and Depth are the game's exploration stats (OnTheFly only):
-	// distinct (product, spec-side) pairs interned and BFS levels walked.
-	Pairs int
-	Depth int
+	// Exploration stats of the game (OnTheFly only). Pairs is the number
+	// of distinct (product, spec-side) pairs interned; Explored counts
+	// the pairs whose local checks actually ran (≤ Pairs on early exit);
+	// MaxWalk is the deepest lazy tau-closure walk any weak-enabledness
+	// obligation needed; Workers, Steals and Utilization describe the
+	// work-stealing scheduler's pool size, successful batch steals and
+	// mean-over-max per-worker load balance.
+	Pairs       int
+	Explored    int
+	MaxWalk     int
+	Workers     int
+	Steals      int
+	Utilization float64
 	// SpecSubsets is the number of spec subsets the determinized game
 	// interned (0 on the direct route).
 	SpecSubsets int
@@ -223,7 +232,11 @@ func (c *Checker) CheckNetworkOTFInfo(ctx context.Context, net *compose.Network,
 				info.Route = RouteOTFDeterminized
 			}
 			info.Pairs = res.Pairs
-			info.Depth = res.Depth
+			info.Explored = res.Explored
+			info.MaxWalk = res.MaxWalk
+			info.Workers = res.Workers
+			info.Steals = res.Steals
+			info.Utilization = res.Utilization
 			info.SpecSubsets = res.SpecSubsets
 			if res.Counterexample != nil {
 				info.Counterexample = res.Counterexample.Trace

@@ -126,8 +126,8 @@ func TestCheckNetworkOTFEarlyExit(t *testing.T) {
 	if len(info.Counterexample) == 0 {
 		t.Error("no distinguishing trace for the buggy ring")
 	}
-	t.Logf("flat product %d states; game stopped after %d pairs (depth %d), trace %v",
-		flatStates, info.Pairs, info.Depth, info.Counterexample)
+	t.Logf("flat product %d states; game stopped after %d pairs (%d explored), trace %v",
+		flatStates, info.Pairs, info.Explored, info.Counterexample)
 }
 
 // TestCheckNetworkOTFRoutes pins the route-reporting contract: a
@@ -239,8 +239,8 @@ func TestCheckNetworkOTFDeterminizedEarlyExit(t *testing.T) {
 	if info.CounterexampleReason == "" || info.CounterexampleString() == "" {
 		t.Error("no distinguishing counterexample for the buggy ring")
 	}
-	t.Logf("flat product %d states; determinized game stopped after %d pairs (depth %d, %d subsets): %s",
-		flatStates, info.Pairs, info.Depth, info.SpecSubsets, info.CounterexampleString())
+	t.Logf("flat product %d states; determinized game stopped after %d pairs (%d explored, %d subsets): %s",
+		flatStates, info.Pairs, info.Explored, info.SpecSubsets, info.CounterexampleString())
 }
 
 // TestCheckNetworkOTFConcurrent hammers one Checker with parallel OTF

@@ -1,0 +1,110 @@
+package otf
+
+import "sync/atomic"
+
+// batch is the unit of scheduling and stealing: the fresh pairs one
+// processed pair discovered, kept together (compose.SuccBatch granularity)
+// so a thief lifts a whole subtree's worth of work in one CAS instead of
+// contending per pair.
+type batch struct {
+	recs []pairRec
+}
+
+// wsDeque is a Chase–Lev work-stealing deque of batches. The owner pushes
+// and pops at the bottom (LIFO, cache-warm); thieves take from the top
+// (FIFO, the oldest — hence typically largest — subtrees) guarded by a CAS
+// on top. Two deliberate departures from the textbook version keep it
+// correct under Go's memory model and clean under the race detector:
+//
+//   - every slot is an atomic.Pointer, so a thief's speculative read of a
+//     slot it then fails to CAS is still a synchronized read, and
+//   - the ring never wraps over live entries: when full it grows into a
+//     fresh buffer (the old one is left untouched for in-flight thieves,
+//     whose reads stay valid because the logical index top holds the same
+//     element in both buffers; a thief that lost the race discards its
+//     read when the CAS on top fails).
+//
+// Go atomics are sequentially consistent, strictly stronger than the
+// acquire/release fences of the original, so no additional ordering is
+// needed. A slot is never reused for a different element within one
+// buffer: bottom only returns to an index after top has passed it, and
+// pushes then resume above top.
+type wsDeque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[wsBuf]
+}
+
+type wsBuf struct {
+	mask  int64
+	slots []atomic.Pointer[batch]
+}
+
+const wsInitSize = 8 // power of two
+
+func newWSDeque() *wsDeque {
+	d := &wsDeque{}
+	d.buf.Store(&wsBuf{mask: wsInitSize - 1, slots: make([]atomic.Pointer[batch], wsInitSize)})
+	return d
+}
+
+// push appends b at the bottom. Owner only.
+func (d *wsDeque) push(b *batch) {
+	bot := d.bottom.Load()
+	top := d.top.Load()
+	buf := d.buf.Load()
+	if bot-top >= int64(len(buf.slots)) {
+		buf = d.grow(buf, top, bot)
+	}
+	buf.slots[bot&buf.mask].Store(b)
+	d.bottom.Store(bot + 1)
+}
+
+// pop removes the newest batch. Owner only; contends with thieves solely
+// on the last remaining element, where the CAS on top decides the winner.
+func (d *wsDeque) pop() *batch {
+	bot := d.bottom.Load() - 1
+	d.bottom.Store(bot)
+	top := d.top.Load()
+	if top > bot {
+		// Already empty; undo the reservation.
+		d.bottom.Store(top)
+		return nil
+	}
+	buf := d.buf.Load()
+	b := buf.slots[bot&buf.mask].Load()
+	if top == bot {
+		if !d.top.CompareAndSwap(top, top+1) {
+			b = nil // a thief took the last element first
+		}
+		d.bottom.Store(top + 1)
+	}
+	return b
+}
+
+// steal removes the oldest batch, or returns nil if the deque looks empty
+// or the CAS races with the owner or another thief (the caller simply
+// tries the next victim).
+func (d *wsDeque) steal() *batch {
+	top := d.top.Load()
+	if top >= d.bottom.Load() {
+		return nil
+	}
+	buf := d.buf.Load()
+	b := buf.slots[top&buf.mask].Load()
+	if !d.top.CompareAndSwap(top, top+1) {
+		return nil
+	}
+	return b
+}
+
+// grow doubles the buffer, copying the live window [top, bot). Owner only
+// (called under push). The old buffer is abandoned, not mutated.
+func (d *wsDeque) grow(old *wsBuf, top, bot int64) *wsBuf {
+	nb := &wsBuf{mask: int64(len(old.slots))*2 - 1, slots: make([]atomic.Pointer[batch], len(old.slots)*2)}
+	for i := top; i < bot; i++ {
+		nb.slots[i&nb.mask].Store(old.slots[i&old.mask].Load())
+	}
+	d.buf.Store(nb)
+	return nb
+}

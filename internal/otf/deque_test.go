@@ -1,0 +1,118 @@
+package otf
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func mkBatch(id int32) *batch { return &batch{recs: []pairRec{{id: id}}} }
+
+// TestWSDequeOwnerLIFO: the owner's pop returns batches newest-first, and
+// an emptied deque yields nil to both pop and steal — across a growth
+// boundary (wsInitSize is small on purpose).
+func TestWSDequeOwnerLIFO(t *testing.T) {
+	d := newWSDeque()
+	const n = 3 * wsInitSize
+	for i := int32(0); i < n; i++ {
+		d.push(mkBatch(i))
+	}
+	for i := int32(n - 1); i >= 0; i-- {
+		b := d.pop()
+		if b == nil || b.recs[0].id != i {
+			t.Fatalf("pop: got %v, want batch %d", b, i)
+		}
+	}
+	if d.pop() != nil {
+		t.Error("pop on empty deque returned a batch")
+	}
+	if d.steal() != nil {
+		t.Error("steal on empty deque returned a batch")
+	}
+}
+
+// TestWSDequeStealFIFO: thieves take the oldest batch, so a sequence of
+// steals drains in push order.
+func TestWSDequeStealFIFO(t *testing.T) {
+	d := newWSDeque()
+	const n = 2*wsInitSize + 3
+	for i := int32(0); i < n; i++ {
+		d.push(mkBatch(i))
+	}
+	for i := int32(0); i < n; i++ {
+		b := d.steal()
+		if b == nil || b.recs[0].id != i {
+			t.Fatalf("steal: got %v, want batch %d", b, i)
+		}
+	}
+	if d.steal() != nil {
+		t.Error("steal on empty deque returned a batch")
+	}
+}
+
+// TestWSDequeConcurrentStress: one owner pushing and popping against
+// several thieves; every batch must be taken exactly once, none lost,
+// none duplicated. Run under -race this also exercises the memory-model
+// argument in the wsDeque comment (speculative slot reads, grow while
+// thieves are in flight).
+func TestWSDequeConcurrentStress(t *testing.T) {
+	const (
+		total   = 20000
+		thieves = 3
+	)
+	d := newWSDeque()
+	taken := make([]atomic.Int32, total)
+	record := func(t *testing.T, b *batch) {
+		if b != nil {
+			taken[b.recs[0].id].Add(1)
+		}
+	}
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				record(t, d.steal())
+			}
+			// Drain whatever the owner left behind.
+			for {
+				b := d.steal()
+				if b == nil {
+					return
+				}
+				record(t, b)
+			}
+		}()
+	}
+
+	// The owner pushes in bursts and pops between bursts, the same
+	// push-heavy/pop-heavy mix the scheduler produces.
+	id := int32(0)
+	for id < total {
+		for burst := 0; burst < 16 && id < total; burst++ {
+			d.push(mkBatch(id))
+			id++
+		}
+		for burst := 0; burst < 8; burst++ {
+			record(t, d.pop())
+		}
+	}
+	for {
+		b := d.pop()
+		if b == nil {
+			break
+		}
+		record(t, b)
+	}
+	done.Store(true)
+	wg.Wait()
+
+	for i := range taken {
+		if got := taken[i].Load(); got != 1 {
+			t.Fatalf("batch %d taken %d times, want exactly once", i, got)
+		}
+	}
+}

@@ -48,11 +48,19 @@
 // a buggy station in an exponentially large token ring — the game
 // terminates after visiting a vanishing fraction of the product.
 //
-// Exploration is parallel, following the lts.Builder design: the BFS
-// frontier of each level is sharded across workers, discovered pairs are
-// hash-consed into a sharded visited table (per-worker successor buffers,
-// merged into the next frontier at the level barrier), and the first
-// mismatch wins via an atomic flag.
+// Exploration is parallel and work-stealing: each worker owns a
+// Chase–Lev deque of successor batches (the fresh pairs one processed
+// pair discovered, compose.SuccBatch granularity), pops its own work LIFO
+// and steals the oldest batch of a random victim when dry. Discovered
+// pairs are hash-consed into a 64-way sharded visited table, termination
+// is detected by a distributed active-batch counter (a batch's children
+// are registered before the batch itself retires, so the counter reaches
+// zero exactly when no work remains anywhere), the first mismatch wins
+// via an atomic flag, and every worker polls the context periodically so
+// deadlines interrupt a running game. The PR-4 level-synchronized BFS is
+// retained behind Options.Scheduler as the measured baseline — it
+// idles every worker at each level barrier while the slowest finishes,
+// which is exactly what the deques eliminate on irregular pair spaces.
 //
 // Soundness of the quotient wiring mirrors engine.CheckNetwork: callers
 // pass the network with components already quotiented by a congruence
@@ -72,6 +80,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ccs/internal/compose"
 	"ccs/internal/fsp"
@@ -105,10 +114,34 @@ func (r Rel) String() string {
 	}
 }
 
+// Scheduler selects the parallel exploration discipline.
+type Scheduler int
+
+const (
+	// WorkStealing (the zero value, and the default) runs one Chase–Lev
+	// deque of successor batches per worker with randomized victim
+	// selection and active-batch-counter termination.
+	WorkStealing Scheduler = iota
+	// LevelBarrier is the level-synchronized BFS of PR 4, retained as the
+	// measured baseline (ccsbench E21) and as a differential oracle for
+	// the work-stealing scheduler.
+	LevelBarrier
+)
+
+func (s Scheduler) String() string {
+	if s == LevelBarrier {
+		return "level-barrier"
+	}
+	return "work-stealing"
+}
+
 // Options tunes a Check run.
 type Options struct {
 	// Workers is the exploration pool size; <= 0 selects GOMAXPROCS.
 	Workers int
+	// Scheduler selects the exploration discipline; the zero value is
+	// WorkStealing.
+	Scheduler Scheduler
 }
 
 // Counterexample is a distinguishing scenario found by the game.
@@ -136,8 +169,24 @@ type Result struct {
 	// interned before the game ended — the lazy analogue of the product
 	// state count, and the measure of how early an early exit was.
 	Pairs int
-	// Depth is the number of BFS levels explored.
-	Depth int
+	// Explored is the number of pairs whose local game checks actually
+	// ran (≤ Pairs: interned-but-unprocessed pairs remain when the game
+	// ends early). Under work-stealing there are no BFS levels, so this
+	// replaces the former Depth field as the work measure.
+	Explored int
+	// MaxWalk is the deepest lazy tau-closure walk (in tau steps) any
+	// weak-enabledness obligation needed — the depth measure of the lazy
+	// closure discipline.
+	MaxWalk int
+	// Workers is the exploration pool size the run actually used.
+	Workers int
+	// Steals is the number of successful batch steals (0 under the
+	// level-barrier scheduler and in single-worker runs).
+	Steals int
+	// Utilization is mean-over-max per-worker explored-pair load in
+	// (0, 1]: 1 means perfectly balanced workers, 1/Workers means one
+	// worker did everything.
+	Utilization float64
 	// Determinized reports that the spec was not action-deterministic
 	// (or not tau-free, for the weak relations) and the game ran on its
 	// lazily determinized subset view.
@@ -301,7 +350,8 @@ func Eligible(spec *fsp.FSP, rel Rel) error {
 // *UndecidedError if the nondeterminism turns out to be essential (see
 // the package comment). The network is explored lazily and the call
 // returns as soon as a mismatch is found. Cancelling the context stops
-// the exploration at the next level barrier.
+// the exploration within a bounded number of pairs per worker (each
+// worker polls ctx periodically), returning ctx.Err().
 func Check(ctx context.Context, net *compose.Network, spec *fsp.FSP, rel Rel, opts Options) (*Result, error) {
 	switch rel {
 	case Strong, Weak, Congruence:
@@ -328,7 +378,7 @@ func Check(ctx context.Context, net *compose.Network, spec *fsp.FSP, rel Rel, op
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	res, err := s.explore(ctx, workers)
+	res, err := s.explore(ctx, workers, opts.Scheduler)
 	if err != nil {
 		return nil, err
 	}
@@ -473,6 +523,14 @@ type session struct {
 	shards [nShards]shard
 	pairs  atomic.Int64
 	fail   atomic.Pointer[failure]
+
+	// active counts outstanding batches under the work-stealing
+	// scheduler: every batch is registered before its parent batch
+	// retires, so zero means no work remains anywhere (termination).
+	active atomic.Int64
+	// canceled is set by the first worker that observes ctx.Err() != nil;
+	// every loop polls it alongside fail.
+	canceled atomic.Bool
 }
 
 func newSession(e *compose.Expansion, spec *fsp.FSP, rel Rel, determinize bool) (*session, error) {
@@ -633,10 +691,12 @@ func (s *session) trace(id int32) []string {
 }
 
 // worker is the per-goroutine scratch: bitsets, key buffers, the
-// closure-walk queue and the next-frontier buffer.
+// successor batch, the closure-walk arena, the frontier buffer of the
+// level-barrier scheduler, and the per-worker counters the Result stats
+// aggregate.
 type worker struct {
 	s       *session
-	succ    []int32
+	batch   compose.SuccBatch
 	walkSuc []int32
 	key     []byte
 	vkey    []byte
@@ -645,13 +705,18 @@ type worker struct {
 	missing []uint64
 	seen    map[string]struct{}
 	queue   []int32 // closure-walk arena: vectors flat, stride s.k
+	depths  []int32 // tau depth of each arena entry
 	next    []pairRec
+	rng     uint64
+
+	explored int
+	steals   int
+	maxWalk  int
 }
 
-func (s *session) newWorker() *worker {
+func (s *session) newWorker(id int) *worker {
 	return &worker{
 		s:       s,
-		succ:    make([]int32, s.k),
 		walkSuc: make([]int32, s.k),
 		key:     make([]byte, 4*(s.k+1)),
 		vkey:    make([]byte, 4*s.k),
@@ -659,36 +724,208 @@ func (s *session) newWorker() *worker {
 		direct:  make([]uint64, s.words),
 		missing: make([]uint64, s.words),
 		seen:    map[string]struct{}{},
+		rng:     uint64(id)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
 	}
 }
 
-// explore runs the level-synchronized parallel BFS over forced pairs.
-func (s *session) explore(ctx context.Context, workers int) (*Result, error) {
+// rngNext is a per-worker xorshift64 used only for victim selection —
+// contention spreading, not statistics.
+func (w *worker) rngNext() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
+}
+
+// pollEvery is how many processed pairs a worker lets pass between
+// ctx.Err() polls: rare enough to stay off the hot path, frequent enough
+// that WithTimeout deadlines interrupt a running game promptly.
+const pollEvery = 256
+
+// explore runs the parallel game under the selected scheduler and
+// assembles the Result (or the ctx / undecided error).
+func (s *session) explore(ctx context.Context, workers int, sched Scheduler) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rootVec := append([]int32(nil), s.e.Starts...)
 	rootQ := s.spec.start()
 	buf := make([]byte, 4*(s.k+1))
 	s.rootID, _ = s.intern(buf, rootVec, rootQ, -1, -1)
-	frontier := []pairRec{{id: s.rootID, q: rootQ, vec: rootVec}}
+	root := pairRec{id: s.rootID, q: rootQ, vec: rootVec}
 
 	pool := make([]*worker, workers)
 	for i := range pool {
-		pool[i] = s.newWorker()
+		pool[i] = s.newWorker(i)
 	}
 
+	if sched == LevelBarrier {
+		s.exploreBarrier(ctx, pool, root)
+	} else {
+		s.exploreSteal(ctx, pool, root)
+	}
+
+	if s.canceled.Load() && s.fail.Load() == nil {
+		return nil, ctx.Err()
+	}
+
+	res := &Result{Pairs: int(s.pairs.Load()), Workers: workers}
+	maxExplored := 0
+	for _, w := range pool {
+		res.Explored += w.explored
+		res.Steals += w.steals
+		if w.explored > maxExplored {
+			maxExplored = w.explored
+		}
+		if w.maxWalk > res.MaxWalk {
+			res.MaxWalk = w.maxWalk
+		}
+	}
+	res.Utilization = 1
+	if maxExplored > 0 {
+		res.Utilization = float64(res.Explored) / (float64(workers) * float64(maxExplored))
+	}
+
+	if f := s.fail.Load(); f != nil {
+		cx := &Counterexample{Trace: s.trace(f.at), Reason: f.reason}
+		if f.undecided {
+			return nil, &UndecidedError{Reason: fmt.Sprintf("%s (reached %s)", f.reason, traceClause(cx.Trace))}
+		}
+		res.Counterexample = cx
+		return res, nil
+	}
+	res.Equivalent = true
+	return res, nil
+}
+
+// exploreSteal is the work-stealing scheduler: the root pair seeds worker
+// 0's deque as a one-pair batch, and every worker loops pop → steal →
+// idle-check until the active-batch counter hits zero or a stop flag is
+// raised. No barriers: a worker that drains its own deque immediately
+// raids a random victim's oldest batch.
+func (s *session) exploreSteal(ctx context.Context, pool []*worker, root pairRec) {
+	deques := make([]*wsDeque, len(pool))
+	for i := range deques {
+		deques[i] = newWSDeque()
+	}
+	s.active.Store(1)
+	deques[0].push(&batch{recs: []pairRec{root}})
+
+	var wg sync.WaitGroup
+	for wi := range pool {
+		wg.Add(1)
+		go func(w *worker, self int) {
+			defer wg.Done()
+			my := deques[self]
+			idle := 0
+			for {
+				if s.fail.Load() != nil || s.canceled.Load() {
+					return
+				}
+				b := my.pop()
+				if b == nil {
+					b = w.stealBatch(deques, self)
+				}
+				if b == nil {
+					if s.active.Load() == 0 {
+						return
+					}
+					// Idle: someone still holds work. Poll ctx here too so
+					// a starved worker notices a deadline without pairs.
+					if ctx.Err() != nil {
+						s.canceled.Store(true)
+						return
+					}
+					// Back off exponentially: a few yields, then short
+					// sleeps. Hot-spinning thieves on an oversubscribed
+					// machine (workers > cores) would otherwise preempt
+					// the very workers they are waiting on.
+					idle++
+					if idle <= 4 {
+						runtime.Gosched()
+					} else {
+						d := time.Duration(1<<min(idle-5, 5)) * 4 * time.Microsecond
+						time.Sleep(d)
+					}
+					continue
+				}
+				idle = 0
+				w.runBatch(ctx, my, b)
+			}
+		}(pool[wi], wi)
+	}
+	wg.Wait()
+}
+
+// stealBatch tries every other deque once, starting from a random victim.
+func (w *worker) stealBatch(deques []*wsDeque, self int) *batch {
+	n := len(deques)
+	if n == 1 {
+		return nil
+	}
+	off := int(w.rngNext() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := (off + i) % n
+		if v == self {
+			continue
+		}
+		if b := deques[v].steal(); b != nil {
+			w.steals++
+			return b
+		}
+	}
+	return nil
+}
+
+// runBatch processes one batch, pushing each pair's fresh children as a
+// new batch onto the worker's own deque. The child batch is registered on
+// the active counter BEFORE this batch retires — the invariant that makes
+// a zero counter mean global termination.
+func (w *worker) runBatch(ctx context.Context, my *wsDeque, b *batch) {
+	s := w.s
+	for _, rec := range b.recs {
+		if s.fail.Load() != nil || s.canceled.Load() {
+			break
+		}
+		w.explored++
+		if w.explored%pollEvery == 0 && ctx.Err() != nil {
+			s.canceled.Store(true)
+			break
+		}
+		children, f := w.process(rec)
+		if f != nil {
+			s.fail.CompareAndSwap(nil, f)
+			break
+		}
+		if len(children) > 0 {
+			s.active.Add(1)
+			my.push(&batch{recs: children})
+		}
+	}
+	s.active.Add(-1)
+}
+
+// exploreBarrier is the retained level-synchronized BFS: per-level atomic
+// cursor over the frontier, per-worker successor buffers merged at the
+// barrier. Kept for E21 baselining and differential testing.
+func (s *session) exploreBarrier(ctx context.Context, pool []*worker, root pairRec) {
+	frontier := []pairRec{root}
 	const chunk = 32
-	depth := 0
-	for len(frontier) > 0 && s.fail.Load() == nil {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	for len(frontier) > 0 && s.fail.Load() == nil && !s.canceled.Load() {
+		if ctx.Err() != nil {
+			s.canceled.Store(true)
+			return
 		}
 		var cursor atomic.Int64
 		var wg sync.WaitGroup
-		for wi := 0; wi < workers; wi++ {
+		for wi := 0; wi < len(pool); wi++ {
 			wg.Add(1)
 			go func(w *worker) {
 				defer wg.Done()
 				w.next = w.next[:0]
-				for s.fail.Load() == nil {
+				for s.fail.Load() == nil && !s.canceled.Load() {
 					hi := cursor.Add(chunk)
 					lo := hi - chunk
 					if lo >= int64(len(frontier)) {
@@ -698,30 +935,27 @@ func (s *session) explore(ctx context.Context, workers int) (*Result, error) {
 						hi = int64(len(frontier))
 					}
 					for _, rec := range frontier[lo:hi] {
-						if f := w.process(rec); f != nil {
+						w.explored++
+						if w.explored%pollEvery == 0 && ctx.Err() != nil {
+							s.canceled.Store(true)
+							return
+						}
+						children, f := w.process(rec)
+						if f != nil {
 							s.fail.CompareAndSwap(nil, f)
 							return
 						}
+						w.next = append(w.next, children...)
 					}
 				}
 			}(pool[wi])
 		}
 		wg.Wait()
-		depth++
 		frontier = frontier[:0]
 		for _, w := range pool {
 			frontier = append(frontier, w.next...)
 		}
 	}
-
-	if f := s.fail.Load(); f != nil {
-		cx := &Counterexample{Trace: s.trace(f.at), Reason: f.reason}
-		if f.undecided {
-			return nil, &UndecidedError{Reason: fmt.Sprintf("%s (reached %s)", f.reason, traceClause(cx.Trace))}
-		}
-		return &Result{Pairs: int(s.pairs.Load()), Depth: depth, Counterexample: cx}, nil
-	}
-	return &Result{Equivalent: true, Pairs: int(s.pairs.Load()), Depth: depth}, nil
 }
 
 // traceClause renders a trace for the undecided diagnostic.
@@ -733,9 +967,11 @@ func traceClause(trace []string) string {
 }
 
 // process runs the local bisimulation-game checks of one pair and
-// enqueues its undiscovered forced successors. A non-nil return is the
-// distinguishing mismatch (or the undecided abort).
-func (w *worker) process(rec pairRec) *failure {
+// returns its undiscovered forced successors — the next steal-granular
+// batch. A non-nil failure is the distinguishing mismatch (or the
+// undecided abort); any children gathered before it are discarded by the
+// caller.
+func (w *worker) process(rec pairRec) ([]pairRec, *failure) {
 	s := w.s
 	spec := s.spec
 
@@ -749,17 +985,25 @@ func (w *worker) process(rec pairRec) *failure {
 		}
 	}
 	if !equalWords(w.ext, specExt) {
-		return &failure{at: rec.id, reason: fmt.Sprintf(
+		return nil, &failure{at: rec.id, reason: fmt.Sprintf(
 			"the network state has extension {%s}; spec %s has {%s}",
 			strings.Join(w.extNames(w.ext), ","), spec.describe(rec.q), strings.Join(w.extNames(specExt), ","))}
 	}
 
-	// Every product move must be answered by the spec side.
+	// Every product move must be answered by the spec side. The batch is
+	// materialized first (compose.AppendSucc) so the checks below run a
+	// plain loop and the surviving children ship out as one deque entry;
+	// the mismatch checks abort the loop in the same successor order the
+	// streaming enumeration used.
+	w.batch.Reset()
+	s.e.AppendSucc(rec.vec, &w.batch)
 	clearWords(w.direct)
 	root := rec.id == s.rootID
 	sawTau := false
-	var fail *failure
-	s.e.Succ(rec.vec, w.succ, func(label int32, succ []int32) bool {
+	var children []pairRec
+	for i := 0; i < w.batch.Len(); i++ {
+		label := w.batch.Labels[i]
+		succ := w.batch.Vec(i)
 		q2 := rec.q
 		if label == 0 && s.rel != Strong {
 			sawTau = true
@@ -768,8 +1012,7 @@ func (w *worker) process(rec pairRec) *failure {
 				// answering spec =tau=>+ move, not mere standing still.
 				q2 = spec.rootTauDelta()
 				if q2 == specNoMove {
-					fail = &failure{at: rec.id, reason: "the network starts with a tau move the spec cannot answer with a tau of its own (≈ᶜ root condition)"}
-					return false
+					return nil, &failure{at: rec.id, reason: "the network starts with a tau move the spec cannot answer with a tau of its own (≈ᶜ root condition)"}
 				}
 			}
 			// Otherwise the spec stands still on a product tau.
@@ -777,29 +1020,23 @@ func (w *worker) process(rec pairRec) *failure {
 			setBit(w.direct, label)
 			q2 = spec.delta(rec.q, label)
 			if q2 == specNoMove {
-				fail = &failure{at: rec.id, reason: fmt.Sprintf("the network performs %q; spec %s cannot", s.labelNames[label], spec.describe(rec.q))}
-				return false
+				return nil, &failure{at: rec.id, reason: fmt.Sprintf("the network performs %q; spec %s cannot", s.labelNames[label], spec.describe(rec.q))}
 			}
 		}
 		if q2 == specUndecided {
-			fail = w.undecidedFailure(rec.id)
-			return false
+			return nil, w.undecidedFailure(rec.id)
 		}
 		id, fresh := s.intern(w.key, succ, q2, rec.id, label)
 		if fresh {
 			vec := append([]int32(nil), succ...)
-			w.next = append(w.next, pairRec{id: id, q: q2, vec: vec})
+			children = append(children, pairRec{id: id, q: q2, vec: vec})
 		}
-		return true
-	})
-	if fail != nil {
-		return fail
 	}
 
 	// The symmetric ≈ᶜ root obligation: a spec-side initial tau needs an
 	// answering product tau (p0 ==tau=>+ starts with a strong tau move).
 	if s.rel == Congruence && root && spec.rootHasTau() && !sawTau {
-		return &failure{at: rec.id, reason: "the spec starts with a tau move; the network has no initial tau to answer it (≈ᶜ root condition)"}
+		return nil, &failure{at: rec.id, reason: "the spec starts with a tau move; the network has no initial tau to answer it (≈ᶜ root condition)"}
 	}
 
 	// Every spec move must be (weakly) matched by the product. The weak
@@ -815,10 +1052,10 @@ func (w *worker) process(rec pairRec) *failure {
 		if s.rel != Strong {
 			how = " weakly"
 		}
-		return &failure{at: rec.id, reason: fmt.Sprintf(
+		return nil, &failure{at: rec.id, reason: fmt.Sprintf(
 			"spec %s requires %q; the network cannot%s perform it", spec.describe(rec.q), s.labelNames[firstBit(w.missing)], how)}
 	}
-	return nil
+	return children, nil
 }
 
 // undecidedFailure builds the abort record for a heterogeneous subset,
@@ -854,16 +1091,22 @@ func (w *worker) walkMissing(vec []int32) {
 	putVec(w.vkey, vec)
 	w.seen[string(w.vkey)] = struct{}{}
 	w.queue = append(w.queue[:0], vec...)
+	w.depths = append(w.depths[:0], 0)
 	for i := 0; i*k < len(w.queue); i++ {
 		// cur stays valid if the arena reallocates mid-iteration: the old
 		// backing array is untouched and Succ copies it per emit.
 		cur := w.queue[i*k : (i+1)*k]
+		d := w.depths[i] + 1
 		done := !s.e.Succ(cur, w.walkSuc, func(label int32, succ []int32) bool {
 			if label == 0 {
 				putVec(w.vkey, succ)
 				if _, ok := w.seen[string(w.vkey)]; !ok {
 					w.seen[string(w.vkey)] = struct{}{}
 					w.queue = append(w.queue, succ...)
+					w.depths = append(w.depths, d)
+					if int(d) > w.maxWalk {
+						w.maxWalk = int(d)
+					}
 				}
 			} else if hasBit(w.missing, label) {
 				clearBit(w.missing, label)

@@ -2,7 +2,9 @@ package otf
 
 import (
 	"context"
+	"errors"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"ccs/internal/compose"
@@ -13,8 +15,10 @@ import (
 
 var bg = context.Background()
 
-// checkBoth runs the game single- and multi-worker and requires agreement;
-// the single-worker verdict is returned.
+// checkBoth runs the game single- and multi-worker on both schedulers and
+// requires agreement; the single-worker verdict is returned. Every test
+// that goes through it is therefore also a work-stealing vs level-barrier
+// differential.
 func checkBoth(t *testing.T, net *compose.Network, spec *fsp.FSP, rel Rel) *Result {
 	t.Helper()
 	seq, err := Check(bg, net, spec, rel, Options{Workers: 1})
@@ -25,8 +29,15 @@ func checkBoth(t *testing.T, net *compose.Network, spec *fsp.FSP, rel Rel) *Resu
 	if err != nil {
 		t.Fatalf("Check(workers=4): %v", err)
 	}
+	bar, err := Check(bg, net, spec, rel, Options{Workers: 4, Scheduler: LevelBarrier})
+	if err != nil {
+		t.Fatalf("Check(workers=4, level-barrier): %v", err)
+	}
 	if seq.Equivalent != par.Equivalent {
 		t.Fatalf("worker counts disagree: 1 worker = %v, 4 workers = %v", seq.Equivalent, par.Equivalent)
+	}
+	if bar.Equivalent != seq.Equivalent {
+		t.Fatalf("schedulers disagree: work-stealing = %v, level-barrier = %v", seq.Equivalent, bar.Equivalent)
 	}
 	return seq
 }
@@ -252,6 +263,85 @@ func TestCancellation(t *testing.T) {
 	cancel()
 	if _, err := Check(ctx, gen.TokenRing(4), gen.TokenRingSpec(), Weak, Options{Workers: 1}); err == nil {
 		t.Error("cancelled context produced no error")
+	}
+}
+
+// pollCtx reports cancellation only from its n-th Err poll onward. The
+// entry check in explore consumes the first poll, so with after=1 the
+// cancellation is observed strictly mid-exploration — deterministically
+// exercising the in-loop poll sites (the per-pollEvery check on busy
+// workers, the idle loop of thieves, the per-level check of the barrier)
+// rather than the entry short-circuit.
+type pollCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *pollCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCancellationMidRun: a context that goes bad while the game is in
+// flight stops both schedulers at any worker count with ctx's error, not
+// a verdict.
+func TestCancellationMidRun(t *testing.T) {
+	for _, sched := range []Scheduler{WorkStealing, LevelBarrier} {
+		for _, workers := range []int{1, 4} {
+			ctx := &pollCtx{Context: bg, after: 1}
+			res, err := Check(ctx, gen.TokenRing(6), gen.TokenRingSpec(), Weak,
+				Options{Workers: workers, Scheduler: sched})
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%v/%d workers: err=%v (res=%v), want context.Canceled", sched, workers, err, res)
+			}
+		}
+	}
+}
+
+// TestSchedulerDifferentialGallery: both schedulers decide every gallery
+// exhibit identically — including the determinized-spec routes — with a
+// counterexample on every negative, and on full sweeps (the positives,
+// where no early exit can cut the search) they intern the exact same
+// number of pairs: the reachable pair set is scheduler-independent.
+func TestSchedulerDifferentialGallery(t *testing.T) {
+	for _, e := range gen.NetworkGallery() {
+		ws, err := Check(bg, e.Net, e.Spec, Weak, Options{Workers: 8, Scheduler: WorkStealing})
+		if err != nil {
+			t.Fatalf("%s work-stealing: %v", e.Name, err)
+		}
+		lb, err := Check(bg, e.Net, e.Spec, Weak, Options{Workers: 8, Scheduler: LevelBarrier})
+		if err != nil {
+			t.Fatalf("%s level-barrier: %v", e.Name, err)
+		}
+		if ws.Equivalent != e.Weak || lb.Equivalent != e.Weak {
+			t.Errorf("%s: work-stealing=%v level-barrier=%v, want %v",
+				e.Name, ws.Equivalent, lb.Equivalent, e.Weak)
+		}
+		if ws.Determinized != lb.Determinized {
+			t.Errorf("%s: determinization disagrees: work-stealing=%v level-barrier=%v",
+				e.Name, ws.Determinized, lb.Determinized)
+		}
+		for _, r := range []*Result{ws, lb} {
+			if r.Workers != 8 {
+				t.Errorf("%s: result reports %d workers, want 8", e.Name, r.Workers)
+			}
+			if r.Explored > r.Pairs || r.Explored <= 0 {
+				t.Errorf("%s: explored %d of %d interned pairs", e.Name, r.Explored, r.Pairs)
+			}
+			if r.Utilization <= 0 || r.Utilization > 1 {
+				t.Errorf("%s: utilization %v outside (0,1]", e.Name, r.Utilization)
+			}
+			if !e.Weak && (r.Counterexample == nil || r.Counterexample.Reason == "") {
+				t.Errorf("%s: inequivalent verdict without a counterexample", e.Name)
+			}
+		}
+		if e.Weak && ws.Pairs != lb.Pairs {
+			t.Errorf("%s: full sweeps intern different pair counts: work-stealing=%d level-barrier=%d",
+				e.Name, ws.Pairs, lb.Pairs)
+		}
 	}
 }
 

@@ -54,10 +54,15 @@ const (
 )
 
 // kindByte gives each kind a stable byte for the entry header, so a file
-// renamed to another kind's name is rejected.
+// renamed to another kind's name is rejected. The byte doubles as the
+// kind's codec version: when an artifact family changes shape, its byte
+// is bumped and every stale on-disk entry fails the header check — a
+// silent cold miss, never a wrong-shaped artifact. KindCongMin was 5
+// while the ≈ᶜ quotient could carry a fresh root; it became 7 when the
+// quotient went minimal (root tau self-loop, one state per ≈-class).
 var kindByte = map[Kind]byte{
 	KindClosure: 1, KindIndex: 2, KindStrongMin: 3,
-	KindWeakMin: 4, KindCongMin: 5, KindSaturated: 6,
+	KindWeakMin: 4, KindCongMin: 7, KindSaturated: 6,
 }
 
 const (

@@ -254,6 +254,44 @@ func TestKindConfusion(t *testing.T) {
 	}
 }
 
+// TestStaleCongMinIsColdMiss pins the codec-version bump of the minimal
+// ≈ᶜ quotient: a store directory written before the quotient went minimal
+// holds KindCongMin entries whose header carries the old kind byte 5 —
+// fresh-root-shaped quotients the current engine must never decode. The
+// entry is forged by patching the kind byte of a freshly written entry
+// (the payload CRC stays valid, exactly like a genuine stale file); the
+// read must be a corrupt-counted cold miss and the file must be deleted.
+func TestStaleCongMinIsColdMiss(t *testing.T) {
+	dir := t.TempDir()
+	f := mustParse(t, fixture)
+	fp, v2 := fsp.Fingerprint(f), fsp.Fingerprint2(f)
+
+	s := openStore(t, dir, 0)
+	s.PutFSP(fp, v2, KindCongMin, f)
+	path := filepath.Join(dir, entryName(fp, KindCongMin))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[6] != kindByte[KindCongMin] || kindByte[KindCongMin] != 7 {
+		t.Fatalf("kind byte layout changed: header %d, table %d", data[6], kindByte[KindCongMin])
+	}
+	data[6] = 5 // the pre-minimal KindCongMin codec version
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s = openStore(t, dir, 0)
+	if _, ok := s.GetFSP(fp, v2, KindCongMin); ok {
+		t.Fatal("stale fresh-root ≈ᶜ quotient entry was served")
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Corrupt != 1 {
+		t.Fatalf("stale-entry stats: %+v", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("stale entry not deleted after rejection")
+	}
+}
+
 // TestEviction fills a tiny store past its cap and checks the
 // least-recently-used entries fall out, on Put and on Open.
 func TestEviction(t *testing.T) {

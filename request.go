@@ -203,11 +203,37 @@ type Report struct {
 	// one was produced: the on-the-fly game's trace for networks, an HML
 	// formula for pairs checked with Explain.
 	Counterexample string `json:"counterexample,omitempty"`
+	// OTF carries the game's exploration statistics when a network query
+	// was decided on the fly (nil on pair queries, pinned-mtc routes and
+	// fallbacks).
+	OTF *OTFStats `json:"otf,omitempty"`
 	// ElapsedMS is the query's wall time in milliseconds.
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Error reports a failed query; the verdict fields are then
 	// meaningless.
 	Error *ReportError `json:"error,omitempty"`
+}
+
+// OTFStats is the on-the-fly game's exploration record: how much of the
+// pair space the verdict cost and how the work-stealing pool behaved.
+type OTFStats struct {
+	// Pairs is the number of distinct (product, spec-side) pairs interned;
+	// Explored counts the pairs whose local game checks ran (≤ Pairs when
+	// the game exited early).
+	Pairs    int `json:"pairs"`
+	Explored int `json:"explored"`
+	// MaxWalk is the deepest lazy tau-closure walk (in tau steps) any
+	// weak-enabledness obligation needed.
+	MaxWalk int `json:"max_walk"`
+	// Workers, Steals and Utilization describe the scheduler: pool size,
+	// successful batch steals, and mean-over-max per-worker explored load
+	// (1 = perfectly balanced).
+	Workers     int     `json:"workers"`
+	Steals      int     `json:"steals"`
+	Utilization float64 `json:"utilization"`
+	// SpecSubsets is the number of spec subsets the determinized game
+	// interned (0 on the direct route).
+	SpecSubsets int `json:"spec_subsets,omitempty"`
 }
 
 // NewStoreChecker returns a Checker whose engine is backed by the
@@ -492,6 +518,17 @@ func (c *Checker) doNetwork(ctx context.Context, req CheckRequest, rel Relation,
 		rep.Route = info.Route
 		rep.Fallback = info.Fallback
 		rep.Counterexample = info.CounterexampleString()
+		if info.OnTheFly {
+			rep.OTF = &OTFStats{
+				Pairs:       info.Pairs,
+				Explored:    info.Explored,
+				MaxWalk:     info.MaxWalk,
+				Workers:     info.Workers,
+				Steals:      info.Steals,
+				Utilization: info.Utilization,
+				SpecSubsets: info.SpecSubsets,
+			}
+		}
 	case RouteMTC:
 		eq, err := c.CheckNetwork(ctx, net, spec, rel, k)
 		if err != nil {
