@@ -33,6 +33,7 @@ func cmdBatch(args []string) (*bool, error) {
 	jsonOut := fs.Bool("json", false, "emit reports as a versioned JSON document")
 	stats := fs.Bool("stats", false, "report cache/store counters on stderr")
 	cacheDir := fs.String("cache-dir", "", "persistent artifact store directory (empty = memory-only)")
+	strictVet := fs.Bool("strict-vet", false, "fail (exit 2) when the vet pre-flight reports findings on any network query")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -51,6 +52,30 @@ func cmdBatch(args []string) (*bool, error) {
 	reqs, err := ccs.ParseRequests(in, *relName)
 	if err != nil {
 		return nil, err
+	}
+	// Pre-flight every network query through the static-analysis pass
+	// (pair queries have nothing to vet). Resolution failures are left for
+	// DoAll, which reports them in-band with the right error kind.
+	vetFindings := 0
+	for i, req := range reqs {
+		if req.Network == nil {
+			continue
+		}
+		label := req.Label
+		if label == "" {
+			label = fmt.Sprintf("query %d", i+1)
+		}
+		diags, err := ccs.VetNetworkRequest(*req.Network, loadProcess)
+		if err != nil {
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "vet %s: %s\n", label, d)
+		}
+		vetFindings += len(diags)
+	}
+	if *strictVet && vetFindings > 0 {
+		return nil, fmt.Errorf("strict-vet: %d finding(s) across the batch; not checking", vetFindings)
 	}
 	checker, err := newCLIChecker(*cacheDir)
 	if err != nil {

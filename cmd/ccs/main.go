@@ -5,6 +5,7 @@
 //	ccs check  -rel strong|weak|trace|failure|kN|limitedN A B
 //	ccs batch  [-rel REL] [-workers N] LIST
 //	ccs network [-rel REL] [-flat|-otf] [-stats] FILE
+//	ccs vet    [-json] FILE...
 //	ccs serve  [-addr A] [-cache-dir D] [-workers N]
 //	ccs expr   -rel ccs|language EXPR1 EXPR2
 //	ccs minimize -rel strong|weak A
@@ -62,6 +63,8 @@ func run(args []string) int {
 		verdict, err = cmdBatch(args[1:])
 	case "network":
 		verdict, err = cmdNetwork(args[1:])
+	case "vet":
+		verdict, err = cmdVet(args[1:])
 	case "serve":
 		verdict, err = cmdServe(args[1:])
 	case "spectrum":
@@ -113,6 +116,7 @@ func usage() {
   ccs check    -rel strong|weak|trace|failure|congruence|simulation|kN|limitedN A B
   ccs batch    [-rel REL] [-workers N] [-timeout D] LIST   # concurrent pair list
   ccs network  [-rel REL] [-flat|-otf] [-stats] FILE       # compositional check
+  ccs vet      [-json] FILE...                             # static analysis only
   ccs serve    [-addr A] [-cache-dir D] [-workers N]       # HTTP/JSON service
   ccs spectrum A B
   ccs refines  SPEC IMPL
@@ -137,6 +141,10 @@ relabelings), "hide c1 c2 ...", "spec S", "rel weak"; components are
 minimized before composing unless -flat is given, and -otf skips the
 product entirely (lazy game against a deterministic spec). Network exit
 codes match batch: 0 equivalent, 1 not, 2 usage, 3 query error.
+Network and batch checks vet their networks first (warnings on stderr;
+-strict-vet turns findings into exit 2); ccs vet runs the same static
+analysis alone on description files or directories, exit 0 clean /
+1 findings / 2 usage, with -json for the machine-readable document.
 HML formulas: tt, ff, <a>phi, [a]phi, !phi, phi&phi, phi|phi, ext(x);
 with -weak the process is saturated first and <eps> is available.
 `)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"ccs"
 )
@@ -46,6 +47,7 @@ func cmdNetwork(args []string) (*bool, error) {
 	otfFlag := fs.Bool("otf", false, "check on the fly (lazy product-vs-spec game; nondeterministic specs are determinized lazily, with a fallback only when the game cannot play)")
 	stats := fs.Bool("stats", false, "report flat product size and cache/store counters")
 	cacheDir := fs.String("cache-dir", "", "persistent artifact store directory (empty = memory-only)")
+	strictVet := fs.Bool("strict-vet", false, "fail (exit 2) when the vet pre-flight reports findings")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -66,6 +68,19 @@ func cmdNetwork(args []string) (*bool, error) {
 	}
 	nr, fileRel, err := ccs.ParseNetworkDescription(in)
 	if err != nil {
+		return nil, err
+	}
+	// Component references resolve relative to the description file, so a
+	// gallery directory is self-contained wherever the command runs from.
+	descDir := ""
+	if fs.Arg(0) != "-" {
+		descDir = filepath.Dir(fs.Arg(0))
+	}
+	load := loadProcessFrom(descDir)
+	// Pre-flight: the same static analysis `ccs vet` runs, before any
+	// state-space work. Findings are warnings on stderr; -strict-vet makes
+	// them fatal.
+	if err := vetPreflight(nr, load, "", *strictVet); err != nil {
 		return nil, err
 	}
 	relName := "weak"
@@ -90,7 +105,7 @@ func cmdNetwork(args []string) (*bool, error) {
 	var net *ccs.Network
 	var spec *ccs.Process
 	if *stats || *flat || nr.Spec == "" {
-		net, spec, err = nr.BuildNetwork(loadProcess)
+		net, spec, err = nr.BuildNetwork(load)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +157,7 @@ func cmdNetwork(args []string) (*bool, error) {
 			reqRoute = "otf"
 		}
 		req := ccs.NewNetworkCheck(relName, nr, ccs.WithRoute(reqRoute))
-		rep := checker.Do(context.Background(), req, loadProcess)
+		rep := checker.Do(context.Background(), req, load)
 		if rep.Error != nil {
 			err := fmt.Errorf("%s", rep.Error.Message)
 			if rep.Error.Kind == ccs.ErrorKindInput {

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ccs"
+)
+
+// cmdVet statically analyzes network descriptions without checking them:
+// each FILE argument is a description in the `ccs network` format (a
+// directory argument means every *.net file inside it), and every finding
+// of the vet pass — dead handshakes, restriction sinks, relabeling
+// collisions and mix-ups, sort mismatches, divergence, undefined channels
+// — is reported with its code, severity and position. Component references
+// inside a description resolve relative to the description's directory.
+//
+// -json renders a versioned VetEnvelope (the same document POST /v1/vet
+// answers) instead of text. Exit status: 0 clean, 1 findings, 2 usage or
+// input error — so `ccs vet examples/vet/*.net` works as a gate.
+func cmdVet(args []string) (*bool, error) {
+	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a versioned JSON document")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() == 0 {
+		return nil, fmt.Errorf("vet wants network description files (or directories of .net files)")
+	}
+	files, err := vetTargets(fs.Args())
+	if err != nil {
+		return nil, err
+	}
+
+	var reps []ccs.VetReport
+	total, errors := 0, 0
+	for _, file := range files {
+		nr, _, err := parseNetworkFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", file, err)
+		}
+		diags, err := ccs.VetNetworkRequest(nr, loadProcessFrom(filepath.Dir(file)))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", file, err)
+		}
+		if diags == nil {
+			diags = []ccs.Diagnostic{}
+		}
+		reps = append(reps, ccs.VetReport{Label: file, Network: nr.Name, Diagnostics: diags})
+		total += len(diags)
+		if !*jsonOut {
+			for _, d := range diags {
+				fmt.Printf("%s: %s\n", file, d)
+			}
+		}
+		if ccs.VetHasErrors(diags) {
+			errors++
+		}
+	}
+	if *jsonOut {
+		data, err := ccs.EncodeVetReports(reps)
+		if err != nil {
+			return nil, err
+		}
+		os.Stdout.Write(append(data, '\n'))
+	} else {
+		fmt.Printf("%d finding(s) in %d network(s)\n", total, len(files))
+	}
+	clean := total == 0
+	return &clean, nil
+}
+
+// vetTargets expands the argument list: files stand for themselves,
+// directories for the sorted *.net files inside them. A directory with no
+// descriptions contributes nothing (so a gallery's process subdirectory
+// can ride along in a glob), but an empty overall expansion is an error.
+func vetTargets(args []string) ([]string, error) {
+	var files []string
+	for _, arg := range args {
+		if arg == "-" {
+			files = append(files, arg)
+			continue
+		}
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		inside, err := filepath.Glob(filepath.Join(arg, "*.net"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(inside)
+		files = append(files, inside...)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no network descriptions among the arguments")
+	}
+	return files, nil
+}
+
+// parseNetworkFile reads one description file ("-" for stdin).
+func parseNetworkFile(file string) (ccs.NetworkRequest, string, error) {
+	if file == "-" {
+		return ccs.ParseNetworkDescription(os.Stdin)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return ccs.NetworkRequest{}, "", err
+	}
+	defer f.Close()
+	return ccs.ParseNetworkDescription(f)
+}
+
+// loadProcessFrom returns a process loader that resolves relative file
+// references against dir — so a description names its components relative
+// to itself, wherever the command runs from. Absolute paths and dir == ""
+// (stdin descriptions) keep the plain behavior.
+func loadProcessFrom(dir string) ccs.ProcessLoader {
+	return func(ref string) (*ccs.Process, error) {
+		if dir != "" && dir != "." && !filepath.IsAbs(ref) && !strings.HasPrefix(ref, "expr:") {
+			ref = filepath.Join(dir, ref)
+		}
+		return loadProcess(ref)
+	}
+}
+
+// vetPreflight runs the static-analysis pass before a network check and
+// prints every finding to stderr. Under strict it turns findings into a
+// usage-level failure (exit 2): the input is defective, the check never
+// ran. Resolution failures are ignored here — the check proper reports
+// them with the right error kind.
+func vetPreflight(nr ccs.NetworkRequest, load ccs.ProcessLoader, label string, strict bool) error {
+	diags, err := ccs.VetNetworkRequest(nr, load)
+	if err != nil {
+		return nil
+	}
+	prefix := "vet"
+	if label != "" {
+		prefix = "vet " + label
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", prefix, d)
+	}
+	if strict && len(diags) > 0 {
+		return fmt.Errorf("strict-vet: %d finding(s); not checking", len(diags))
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccs"
+)
+
+// galleryDir is the committed negative-example gallery, relative to this
+// package's test working directory.
+const galleryDir = "../../examples/vet"
+
+// vetCatalogue is every diagnostic code the gallery pins, each of which
+// must appear exactly once across `ccs vet examples/vet/*`.
+var vetCatalogue = []string{
+	ccs.CodeDeadSync,
+	ccs.CodeRestrictionSink,
+	ccs.CodeRelabelCollision,
+	ccs.CodeRelabelRestricted,
+	ccs.CodeSortMismatch,
+	ccs.CodeTauDivergence,
+	ccs.CodeUnguardedStart,
+	ccs.CodeUndefinedChannel,
+}
+
+// TestVetGalleryText runs the vet subcommand over the whole committed
+// gallery — files and the procs/ subdirectory alike, as a shell glob
+// would pass them — and asserts every catalogued code is reported exactly
+// once, the clean exhibit stays silent, and findings exit 1.
+func TestVetGalleryText(t *testing.T) {
+	entries, err := os.ReadDir(galleryDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"vet"}
+	for _, e := range entries {
+		args = append(args, filepath.Join(galleryDir, e.Name()))
+	}
+	code, stdout, stderr := captureRun(t, args)
+	if code != 1 {
+		t.Fatalf("vet over the gallery = %d, want 1 (findings)\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	for _, want := range vetCatalogue {
+		if n := strings.Count(stdout, "["+want+"]"); n != 1 {
+			t.Errorf("code %s reported %d times, want exactly once\n%s", want, n, stdout)
+		}
+	}
+	if strings.Contains(stdout, "clean.net:") {
+		t.Errorf("the clean exhibit produced findings:\n%s", stdout)
+	}
+}
+
+// TestVetCleanExitsZero: a clean description vets silently, exit 0.
+func TestVetCleanExitsZero(t *testing.T) {
+	code, stdout, _ := captureRun(t, []string{"vet", filepath.Join(galleryDir, "clean.net")})
+	if code != 0 {
+		t.Fatalf("vet clean.net = %d, want 0\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "0 finding(s)") {
+		t.Errorf("summary line missing: %q", stdout)
+	}
+}
+
+// TestVetJSONRoundTrip: -json output decodes through the schema types and
+// carries each catalogued code exactly once.
+func TestVetJSONRoundTrip(t *testing.T) {
+	code, stdout, _ := captureRun(t, []string{"vet", "-json", galleryDir})
+	if code != 1 {
+		t.Fatalf("vet -json = %d, want 1", code)
+	}
+	reps, err := ccs.DecodeVetReports([]byte(stdout))
+	if err != nil {
+		t.Fatalf("output does not round-trip: %v\n%s", err, stdout)
+	}
+	if len(reps) != 9 {
+		t.Fatalf("decoded %d reports, want 9 (one per .net)", len(reps))
+	}
+	counts := map[string]int{}
+	for _, rep := range reps {
+		if rep.Label == "" || rep.Network == "" {
+			t.Errorf("report missing label/network: %+v", rep)
+		}
+		for _, d := range rep.Diagnostics {
+			counts[d.Code]++
+		}
+	}
+	for _, want := range vetCatalogue {
+		if counts[want] != 1 {
+			t.Errorf("code %s decoded %d times, want exactly once", want, counts[want])
+		}
+	}
+}
+
+// TestVetUsageErrors: no arguments, missing files and unparsable
+// descriptions exit 2.
+func TestVetUsageErrors(t *testing.T) {
+	if code := run([]string{"vet"}); code != 2 {
+		t.Errorf("vet with no arguments = %d, want 2", code)
+	}
+	if code := run([]string{"vet", filepath.Join(t.TempDir(), "nope.net")}); code != 2 {
+		t.Errorf("vet on a missing file = %d, want 2", code)
+	}
+	bad := writeFixture(t, "bad.net", "component\n")
+	if code := run([]string{"vet", bad}); code != 2 {
+		t.Errorf("vet on an unparsable description = %d, want 2", code)
+	}
+	empty := t.TempDir()
+	if code := run([]string{"vet", empty}); code != 2 {
+		t.Errorf("vet on a directory without descriptions = %d, want 2", code)
+	}
+}
+
+// TestNetworkStrictVet: the pre-flight warns by default and fails the run
+// under -strict-vet before any checking happens.
+func TestNetworkStrictVet(t *testing.T) {
+	desc := filepath.Join(galleryDir, "deadsync.net")
+	code, _, stderr := captureRun(t, []string{"network", desc})
+	if code != 0 {
+		t.Fatalf("spec-less defective network = %d, want 0 (vet only warns)\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "vet: error[dead-sync]") {
+		t.Errorf("pre-flight warning missing from stderr: %q", stderr)
+	}
+	code, _, stderr = captureRun(t, []string{"network", "-strict-vet", desc})
+	if code != 2 {
+		t.Fatalf("-strict-vet on a defective network = %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "strict-vet") {
+		t.Errorf("strict failure does not name the gate: %q", stderr)
+	}
+	// A clean description passes the strict gate (spec-less: prints the
+	// composed process, exit 0).
+	if code := run([]string{"network", "-strict-vet", filepath.Join(galleryDir, "clean.net")}); code != 0 {
+		t.Errorf("-strict-vet on the clean network = %d, want 0", code)
+	}
+}
+
+// TestBatchStrictVet: network queries in a batch are pre-flighted; the
+// strict flag turns findings into a usage failure before checking.
+func TestBatchStrictVet(t *testing.T) {
+	spec := writeFixture(t, "spec.fsp", "fsp spec\nstates 1\nstart 0\next 0 x\narc 0 x 0\narc 0 y 0\n")
+	sender := filepath.Join(galleryDir, "procs", "sender.fsp")
+	noise := filepath.Join(galleryDir, "procs", "noise.fsp")
+	abs := func(p string) string {
+		a, err := filepath.Abs(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	reqs := []ccs.CheckRequest{
+		ccs.NewCheck("strong", "expr:a", "expr:a", ccs.WithLabel("pair")),
+		ccs.NewNetworkCheck("weak", ccs.NetworkRequest{
+			Name: "dead",
+			Components: []ccs.NetworkComponentRef{
+				{Process: abs(sender)}, {Process: abs(noise)},
+			},
+			Hide: []string{"a"},
+			Spec: abs(spec),
+		}, ccs.WithLabel("deadnet")),
+	}
+	data, err := ccs.EncodeRequests(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := writeFixture(t, "batch.json", string(data))
+
+	code, _, stderr := captureRun(t, []string{"batch", list})
+	if !strings.Contains(stderr, "vet deadnet: error[dead-sync]") {
+		t.Errorf("batch pre-flight warning missing: %q", stderr)
+	}
+	if code == 2 {
+		t.Errorf("default batch exited 2; vet must only warn\nstderr: %s", stderr)
+	}
+	code, _, stderr = captureRun(t, []string{"batch", "-strict-vet", list})
+	if code != 2 {
+		t.Fatalf("batch -strict-vet = %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "strict-vet") {
+		t.Errorf("strict failure does not name the gate: %q", stderr)
+	}
+}
+
+// TestNetworkOTFFallbackCarriesVet: when the on-the-fly game refuses a
+// spec (essential nondeterminism) and the engine falls back, the CLI run
+// surfaces both the fallback reason and the vet findings about the inputs
+// — here a tau-divergent component — side by side on stderr.
+func TestNetworkOTFFallbackCarriesVet(t *testing.T) {
+	// a.(b+c) with a tau-cycle tail: diverges after b/c.
+	proc := writeFixture(t, "branchdiv.fsp",
+		"fsp branchdiv\nstates 4\nstart 0\next 0 x\next 1 x\next 2 x\next 3 x\n"+
+			"arc 0 a 1\narc 1 b 2\narc 1 c 2\narc 2 tau 3\narc 3 tau 2\n")
+	spec := writeFixture(t, "abac.fsp", essentialChoice)
+	file := writeFixture(t, "enet.txt", "component "+proc+"\nspec "+spec+"\n")
+	code, _, stderr := captureRun(t, []string{"network", "-otf", file})
+	if code != 0 && code != 1 {
+		t.Fatalf("network -otf = %d, want a verdict exit\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "fell back to minimize-then-compose") {
+		t.Errorf("fallback reason missing from stderr: %q", stderr)
+	}
+	if !strings.Contains(stderr, "vet: warning[tau-divergence]") {
+		t.Errorf("vet finding missing from the fallback run's stderr: %q", stderr)
+	}
+}
+
+// TestVetResolvesRelativeToDescription: component paths inside a
+// description resolve against the description's own directory, so a
+// gallery is self-contained wherever the command runs from.
+func TestVetResolvesRelativeToDescription(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "procs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	proc := "fsp p\nstates 1\nstart 0\next 0 x\narc 0 a 0\n"
+	if err := os.WriteFile(filepath.Join(dir, "procs", "p.fsp"), []byte(proc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	desc := filepath.Join(dir, "rel.net")
+	if err := os.WriteFile(desc, []byte("component procs/p.fsp\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"vet", desc}); code != 0 {
+		t.Errorf("vet with description-relative components = %d, want 0", code)
+	}
+	if code := run([]string{"network", desc}); code != 0 {
+		t.Errorf("network with description-relative components = %d, want 0", code)
+	}
+}
+
+// TestVetStdinDescription: "-" reads the description from stdin.
+func TestVetStdinDescription(t *testing.T) {
+	sender, err := filepath.Abs(filepath.Join(galleryDir, "procs", "sender.fsp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise, err := filepath.Abs(filepath.Join(galleryDir, "procs", "noise.fsp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := fmt.Sprintf("component %s\ncomponent %s\nhide a\n", sender, noise)
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteString(desc); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	oldIn := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = oldIn }()
+	code, stdout, _ := captureRun(t, []string{"vet", "-"})
+	if code != 1 {
+		t.Fatalf("vet - (defective stdin description) = %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "[dead-sync]") {
+		t.Errorf("stdin description's finding missing: %q", stdout)
+	}
+}

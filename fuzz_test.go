@@ -1,0 +1,64 @@
+package ccs_test
+
+import (
+	"strings"
+	"testing"
+
+	"ccs"
+)
+
+// FuzzDecodeRequests: the request decoder never panics on arbitrary
+// bytes, and every document it accepts survives the encode/decode round
+// trip.
+func FuzzDecodeRequests(f *testing.F) {
+	for _, seed := range []string{
+		`{"relation":"weak","p":"expr:a","q":"expr:a"}`,
+		`[{"relation":"weak","p":"expr:a","q":"expr:a","label":"pair"}]`,
+		`{"schema":1,"requests":[{"relation":"strong","p":"expr:a+a","q":"expr:a","k":2,"route":"mtc"}]}`,
+		`{"relation":"weak","network":{"name":"n","components":[{"process":"expr:a","relabel":{"a":"b"}}],"hide":["b"],"spec":"expr:0"}}`,
+		`{"schema":99,"requests":[]}`,
+		`{"relatoin":"weak"}`,
+		`weak expr:a expr:a`,
+		`{`, `[]`, `null`, `42`, `"x"`,
+		strings.Repeat("[", 200) + strings.Repeat("]", 200),
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := ccs.DecodeRequests(data)
+		if err != nil {
+			return
+		}
+		out, err := ccs.EncodeRequests(reqs)
+		if err != nil {
+			t.Fatalf("accepted document does not re-encode: %v", err)
+		}
+		if _, err := ccs.DecodeRequests(out); err != nil {
+			t.Fatalf("re-encoded document does not decode: %v\n%s", err, out)
+		}
+	})
+}
+
+// FuzzParseNetworkDescription: the line-oriented description parser never
+// panics, and accepted descriptions carry at least one component.
+func FuzzParseNetworkDescription(f *testing.F) {
+	for _, seed := range []string{
+		"component procs/a.fsp\ncomponent procs/b.fsp\nhide a\n",
+		"name ring\n# comment\ncomponent cell.fsp in=c0 out=c1\ncomponent cell.fsp in=c1 out=c0\nhide c0 c1\nspec spec.fsp\n",
+		"component expr:a(b+c)\nspec expr:ab+ac\n",
+		"component\n", "hide a\n", "spec s.fsp\ncomponent p.fsp\n",
+		"name\n", "bogus directive\n", "", "\n\n", "component p.fsp a=\n",
+		"component p.fsp =b\n", "component p.fsp a=b=c\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nr, _, err := ccs.ParseNetworkDescription(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if len(nr.Components) == 0 {
+			t.Fatalf("accepted description %q has no components", src)
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"ccs/internal/compose"
 	"ccs/internal/fsp"
 	"ccs/internal/otf"
+	"ccs/internal/vet"
 )
 
 // This file is the engine's network-aware query layer: equivalence
@@ -143,6 +144,13 @@ type OTFInfo struct {
 	// by CounterexampleReason.
 	Counterexample       []string
 	CounterexampleReason string
+	// Diagnostics carries the static-analysis findings (internal/vet) of
+	// the original network and spec when the engine had to fall back off
+	// the game — the inputs whose nondeterminism or tau structure defeats
+	// the game are exactly the ones worth vetting, so the fallback reason
+	// travels with the findings that explain the input. Empty on the
+	// on-the-fly routes.
+	Diagnostics []vet.Diagnostic
 }
 
 // CounterexampleString renders the distinguishing scenario like
@@ -247,9 +255,11 @@ func (c *Checker) CheckNetworkOTFInfo(ctx context.Context, net *compose.Network,
 			// The determinized game met essential nondeterminism: an
 			// honest fallback, with the heterogeneous subset on record.
 			info.Fallback = undecided.Reason
+			info.Diagnostics = fallbackDiagnostics(net, spec)
 		case errors.As(err, &ineligible):
 			// Epsilon-tainted or empty specs never enter the game.
 			info.Fallback = ineligible.Error()
+			info.Diagnostics = fallbackDiagnostics(net, spec)
 		default:
 			return false, info, err
 		}
@@ -257,4 +267,18 @@ func (c *Checker) CheckNetworkOTFInfo(ctx context.Context, net *compose.Network,
 	info.Route = RouteMTCFallback
 	eq, err = c.CheckNetwork(ctx, net, spec, rel, k)
 	return eq, info, err
+}
+
+// fallbackDiagnostics vets the ORIGINAL network and spec for an OTFInfo
+// fallback report. The originals matter: minimal ≈ᶜ quotients carry a root
+// tau self-loop by construction, which would read as unguarded recursion
+// the user never wrote. Vet is advisory here — a malformed network already
+// failed MinimizeNetwork, so errors are dropped rather than masking the
+// fallback verdict.
+func fallbackDiagnostics(net *compose.Network, spec *fsp.FSP) []vet.Diagnostic {
+	diags, err := vet.Network(net, spec)
+	if err != nil {
+		return nil
+	}
+	return diags
 }

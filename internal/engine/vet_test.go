@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"ccs/internal/compose"
+	"ccs/internal/fsp"
+	"ccs/internal/gen"
+	"ccs/internal/vet"
+)
+
+// These tests pin the contract of OTFInfo.Diagnostics: when the on-the-fly
+// game refuses a query — essential spec nondeterminism (UndecidedError) or
+// an ineligible spec (IneligibleError) — the fallback report carries the
+// static-analysis findings about the ORIGINAL inputs alongside the
+// fallback reason, and on-the-fly verdicts carry none.
+
+func hasCode(diags []vet.Diagnostic, code string) bool {
+	for _, d := range diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// branchDivergent is a.(b+c) with a tau-cycle tail: after b or c the
+// process can diverge — a vet finding — and its a-derivative pair is what
+// makes the a.b+a.c spec essentially nondeterministic.
+func branchDivergent(t *testing.T) *compose.Network {
+	t.Helper()
+	b := fsp.NewBuilder("branch-div")
+	b.AddStates(4)
+	b.ArcName(0, "a", 1)
+	b.ArcName(1, "b", 2)
+	b.ArcName(1, "c", 2)
+	b.ArcName(2, fsp.TauName, 3)
+	b.ArcName(3, fsp.TauName, 2)
+	for s := 0; s < 4; s++ {
+		b.Accept(fsp.State(s))
+	}
+	return compose.New("trap-div", b.MustBuild())
+}
+
+func essentialSpec(t *testing.T) *fsp.FSP {
+	t.Helper()
+	b := fsp.NewBuilder("a.b+a.c")
+	b.AddStates(5)
+	b.ArcName(0, "a", 1)
+	b.ArcName(0, "a", 2)
+	b.ArcName(1, "b", 3)
+	b.ArcName(2, "c", 4)
+	for s := 0; s < 5; s++ {
+		b.Accept(fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
+// TestOTFUndecidedCarriesDiagnostics: the UndecidedError fallback path.
+func TestOTFUndecidedCarriesDiagnostics(t *testing.T) {
+	c := New()
+	_, info, err := c.CheckNetworkOTFInfo(context.Background(), branchDivergent(t), essentialSpec(t), Weak, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Route != RouteMTCFallback || info.Fallback == "" {
+		t.Fatalf("route %q fallback %q, want the undecided fallback on record", info.Route, info.Fallback)
+	}
+	if !hasCode(info.Diagnostics, vet.CodeTauDivergence) {
+		t.Errorf("fallback diagnostics %v missing the component's tau-divergence", info.Diagnostics)
+	}
+}
+
+// TestOTFIneligibleCarriesDiagnostics: the IneligibleError fallback path
+// (an epsilon-tainted spec never enters the game; the strong relation so
+// the quotient does not reject the epsilon first). The network's start
+// state sits on a tau-cycle, so the findings must include unguarded-start
+// positioned on the component.
+func TestOTFIneligibleCarriesDiagnostics(t *testing.T) {
+	b := fsp.NewBuilder("unguarded")
+	b.AddStates(2)
+	b.ArcName(0, fsp.TauName, 0)
+	b.ArcName(0, "a", 1)
+	b.ArcName(1, "a'", 0)
+	b.Accept(0)
+	b.Accept(1)
+	net := compose.New("unguarded-net", b.MustBuild())
+
+	sb := fsp.NewBuilder("eps-spec")
+	sb.AddStates(2)
+	sb.ArcName(0, fsp.EpsilonName, 1)
+	sb.ArcName(0, "a", 1)
+	sb.Accept(0)
+	sb.Accept(1)
+	spec := sb.MustBuild()
+
+	c := New()
+	_, info, err := c.CheckNetworkOTFInfo(context.Background(), net, spec, Strong, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Route != RouteMTCFallback || info.Fallback == "" {
+		t.Fatalf("route %q fallback %q, want the ineligible fallback on record", info.Route, info.Fallback)
+	}
+	found := false
+	for _, d := range info.Diagnostics {
+		if d.Code == vet.CodeUnguardedStart && d.Component == 1 && !d.Spec {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fallback diagnostics %v missing the component-positioned unguarded-start", info.Diagnostics)
+	}
+}
+
+// TestOTFRoutesCarryNoDiagnostics: an on-the-fly verdict has no
+// diagnostics attached even when the inputs would draw findings (the
+// token ring's idle stations tau-cycle) — vet rides along only where the
+// engine had to fall back.
+func TestOTFRoutesCarryNoDiagnostics(t *testing.T) {
+	c := New()
+	_, info, err := c.CheckNetworkOTFInfo(context.Background(), gen.TokenRing(3), gen.TokenRingSpec(), Weak, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.OnTheFly {
+		t.Fatalf("token ring fell back: %s", info.Fallback)
+	}
+	if len(info.Diagnostics) != 0 {
+		t.Errorf("on-the-fly verdict carries diagnostics: %v", info.Diagnostics)
+	}
+}

@@ -13,9 +13,18 @@
 package expr
 
 import (
+	"errors"
 	"fmt"
-	"strings"
 )
+
+// MaxParseDepth caps parenthesis nesting in Parse. The recursive-descent
+// parser burns one stack frame chain per '(' — the cap turns adversarial
+// inputs like ((((…)))) into a typed error instead of a stack overflow.
+const MaxParseDepth = 10000
+
+// ErrParseDepth is wrapped by the error Parse returns for expressions
+// whose parenthesis nesting exceeds MaxParseDepth.
+var ErrParseDepth = errors.New("expr: expression nests too deeply")
 
 // Expr is the AST of a star expression.
 type Expr interface {
@@ -127,8 +136,9 @@ func MustParse(input string) Expr {
 }
 
 type parser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
 }
 
 func (p *parser) skipSpace() {
@@ -225,11 +235,16 @@ func (p *parser) parseAtom() (Expr, error) {
 	}
 	switch {
 	case c == '(':
+		p.depth++
+		if p.depth > MaxParseDepth {
+			return nil, fmt.Errorf("%w: more than %d nested '(' at offset %d", ErrParseDepth, MaxParseDepth, p.pos)
+		}
 		p.pos++
 		e, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
+		p.depth--
 		c2, ok := p.peek()
 		if !ok || c2 != ')' {
 			return nil, fmt.Errorf("expr: missing ')' at offset %d", p.pos)
@@ -283,5 +298,5 @@ func Symbols(e Expr) []string {
 
 // Equal reports structural equality of two ASTs.
 func Equal(a, b Expr) bool {
-	return strings.Compare(a.String(), b.String()) == 0
+	return a.String() == b.String()
 }

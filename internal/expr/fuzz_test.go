@@ -1,0 +1,54 @@
+package expr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseDepthLimit: adversarial nesting returns the typed depth error;
+// reasonable nesting is untouched.
+func TestParseDepthLimit(t *testing.T) {
+	deep := strings.Repeat("(", MaxParseDepth+1) + "a" + strings.Repeat(")", MaxParseDepth+1)
+	_, err := Parse(deep)
+	if !errors.Is(err, ErrParseDepth) {
+		t.Fatalf("deep expression error = %v, want ErrParseDepth", err)
+	}
+	// Unbalanced flooding — all open, no close — must hit the same guard,
+	// not recurse to the missing-')' report.
+	_, err = Parse(strings.Repeat("(", MaxParseDepth+100))
+	if !errors.Is(err, ErrParseDepth) {
+		t.Fatalf("paren flood error = %v, want ErrParseDepth", err)
+	}
+	ok := strings.Repeat("(", 100) + "a+b" + strings.Repeat(")", 100)
+	if _, err := Parse(ok); err != nil {
+		t.Fatalf("100-deep expression rejected: %v", err)
+	}
+}
+
+// FuzzParse: the parser never panics, and an accepted expression's
+// rendering reparses to the same rendering (String is a fixed point).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"a", "0", "a+b", "ab", "a.b", "(ab)*", "a(b+c)*",
+		"a&b", "(a+b)&(a+c)", "a**", "((((a))))",
+		"a+", "(", ")", "(a", "a)", "", "  ", "a b", "0*0",
+		"a|b", "a\t+\tb", strings.Repeat("(a+", 20) + "b" + strings.Repeat(")", 20),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering %q of accepted %q does not reparse: %v", rendered, src, err)
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("String not a fixed point: %q -> %q -> %q", src, rendered, again)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package gen
+
+import (
+	"ccs/internal/compose"
+	"ccs/internal/fsp"
+)
+
+// This file generates known-defective networks for the static-analysis
+// pass (internal/vet): one exhibit per diagnostic code, each wired so that
+// exactly that one code fires, plus a clean network as the negative
+// control. The exhibits are the in-process twins of the descriptions under
+// examples/vet/ and the ground truth for the vet unit, differential, CLI
+// and server tests.
+
+// VetGalleryEntry is one exhibit of the defect gallery: a network, an
+// optional spec, and the exact diagnostic codes vet.Network must report —
+// each exactly once, in any order.
+type VetGalleryEntry struct {
+	Name        string
+	Net         *compose.Network
+	Spec        *fsp.FSP
+	Codes       []string
+	Description string
+}
+
+// loopProc builds the common gallery shape: a cycle of states threading
+// the given action names in order, every state accepting.
+func loopProc(name string, actions ...string) *fsp.FSP {
+	b := fsp.NewBuilder(name)
+	n := len(actions)
+	b.AddStates(n)
+	for i, act := range actions {
+		b.ArcName(fsp.State(i), act, fsp.State((i+1)%n))
+	}
+	for s := 0; s < n; s++ {
+		b.Accept(fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
+// DeadSyncNetwork wires a handshake that can never fire: the sender emits
+// "a'" (then works on "x" forever) but no other component ever performs
+// "a", so hiding "a" restricts a channel with only one side present.
+func DeadSyncNetwork() *compose.Network {
+	sender := loopProc("sender", "a'", "x")
+	noise := loopProc("noise", "y")
+	return compose.New("dead-sync", sender, noise).Hide("a")
+}
+
+// RestrictionSinkNetwork restricts away everything a component can do:
+// "blocked" only performs "c", "c" is hidden, and no other component
+// carries "c'", so blocked contributes only deadlock. The dead channel
+// itself is not reported separately — the sink is the more specific
+// finding.
+func RestrictionSinkNetwork() *compose.Network {
+	blocked := loopProc("blocked", "c")
+	free := loopProc("free", "d")
+	return compose.New("restriction-sink", blocked, free).Hide("c")
+}
+
+// RelabelCollisionNetwork maps two distinct actions of one component onto
+// a single name, merging their handshakes: ab[a=c, b=c].
+func RelabelCollisionNetwork() *compose.Network {
+	ab := loopProc("ab", "a", "b")
+	net := &compose.Network{Name: "relabel-collision"}
+	net.Add(ab, map[string]string{"a": "c", "b": "c"})
+	return net
+}
+
+// RelabelRestrictedNetwork relabels a restricted channel: component
+// "mapper" renames its "c" to "d" while the network hides "c", so the
+// restriction (applied after relabeling) no longer reaches the mapper —
+// the (P\L)[f] vs (P[f])\L mix-up. The A|B pair keeps channel c genuinely
+// alive so no dead-sync fires alongside.
+func RelabelRestrictedNetwork() *compose.Network {
+	a := loopProc("a-side", "c", "e")
+	b := loopProc("b-side", "c'")
+	mapper := loopProc("mapper", "c")
+	net := compose.New("relabel-restricted", a, b)
+	net.Add(mapper, map[string]string{"c": "d"})
+	return net.Hide("c")
+}
+
+// SortMismatchPair returns a network and a spec whose sorts disagree: the
+// spec performs "c", which no component of the network carries — trivially
+// inequivalent for every trace-containing relation.
+func SortMismatchPair() (*compose.Network, *fsp.FSP) {
+	net := compose.New("sort-mismatch", loopProc("ab", "a", "b"))
+	spec := loopProc("abc", "a", "b", "c")
+	return net, spec
+}
+
+// TauDivergenceNetwork has a component that can wander into a tau-cycle
+// away from its root (0 -a-> 1 -tau-> 2 -tau-> 1): it diverges after "a",
+// which ≈ and ≈ᶜ are blind to.
+func TauDivergenceNetwork() *compose.Network {
+	b := fsp.NewBuilder("spin")
+	b.AddStates(3)
+	b.ArcName(0, "a", 1)
+	b.ArcName(1, fsp.TauName, 2)
+	b.ArcName(2, fsp.TauName, 1)
+	for s := 0; s < 3; s++ {
+		b.Accept(fsp.State(s))
+	}
+	return compose.New("tau-divergence", b.MustBuild())
+}
+
+// UnguardedStartNetwork has a component whose start state lies on a
+// tau-cycle — the FSP image of unguarded recursion X = X + a.b.X. The
+// more generic tau-divergence finding is suppressed in its favor.
+func UnguardedStartNetwork() *compose.Network {
+	b := fsp.NewBuilder("unguarded")
+	b.AddStates(2)
+	b.ArcName(0, fsp.TauName, 0)
+	b.ArcName(0, "a", 1)
+	b.ArcName(1, "b", 0)
+	b.Accept(0)
+	b.Accept(1)
+	return compose.New("unguarded-start", b.MustBuild())
+}
+
+// UndefinedChannelNetwork hides a channel no component carries: hide q
+// over a component speaking only a and b — the usual shape of a typo'd
+// wiring.
+func UndefinedChannelNetwork() *compose.Network {
+	return compose.New("undefined-channel", loopProc("ab", "a", "b")).Hide("q")
+}
+
+// CleanNetwork is the negative control: a live handshake on the hidden
+// channel "a" between a sender and a receiver that each keep an observable
+// action, no relabelings, no divergence. vet.Network must report nothing.
+func CleanNetwork() *compose.Network {
+	sender := loopProc("sender", "a'", "x")
+	receiver := loopProc("receiver", "a", "y")
+	return compose.New("clean", sender, receiver).Hide("a")
+}
+
+// VetGallery returns the defect exhibits, one per diagnostic code plus the
+// clean control, in catalogue order. Codes lists what vet.Network must
+// report — each exactly once.
+func VetGallery() []VetGalleryEntry {
+	sortNet, sortSpec := SortMismatchPair()
+	return []VetGalleryEntry{
+		{
+			Name:        "dead-sync",
+			Net:         DeadSyncNetwork(),
+			Codes:       []string{"dead-sync"},
+			Description: "a restricted channel whose receive side occurs in no component",
+		},
+		{
+			Name:        "restriction-sink",
+			Net:         RestrictionSinkNetwork(),
+			Codes:       []string{"restriction-sink"},
+			Description: "a component with every observable action restricted away",
+		},
+		{
+			Name:        "relabel-collision",
+			Net:         RelabelCollisionNetwork(),
+			Codes:       []string{"relabel-collision"},
+			Description: "two distinct actions relabeled onto one name",
+		},
+		{
+			Name:        "relabel-restricted",
+			Net:         RelabelRestrictedNetwork(),
+			Codes:       []string{"relabel-restricted"},
+			Description: "a relabeling whose source channel the network hides",
+		},
+		{
+			Name:        "sort-mismatch",
+			Net:         sortNet,
+			Spec:        sortSpec,
+			Codes:       []string{"sort-mismatch"},
+			Description: "the spec performs an action the network can never perform",
+		},
+		{
+			Name:        "tau-divergence",
+			Net:         TauDivergenceNetwork(),
+			Codes:       []string{"tau-divergence"},
+			Description: "a reachable tau-cycle away from the root",
+		},
+		{
+			Name:        "unguarded-start",
+			Net:         UnguardedStartNetwork(),
+			Codes:       []string{"unguarded-start"},
+			Description: "the start state itself lies on a tau-cycle",
+		},
+		{
+			Name:        "undefined-channel",
+			Net:         UndefinedChannelNetwork(),
+			Codes:       []string{"undefined-channel"},
+			Description: "a hide directive naming a channel no component carries",
+		},
+		{
+			Name:        "clean",
+			Net:         CleanNetwork(),
+			Codes:       nil,
+			Description: "a live handshake network with no findings",
+		},
+	}
+}

@@ -9,6 +9,9 @@
 //	POST /v1/network  one network CheckRequest -> one Report
 //	POST /v1/batch    a request document (envelope, array, or single
 //	                  object) -> a versioned ReportEnvelope
+//	POST /v1/vet      one network CheckRequest -> a versioned VetEnvelope
+//	                  of static-analysis findings (no check runs; network
+//	                  reports also carry diagnostics inline)
 //	GET  /v1/stats    ccs.ServerStats: query counters, admission state,
 //	                  checker cache and artifact-store counters
 //
@@ -93,6 +96,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/check", s.handleSingle(false))
 	mux.HandleFunc("POST /v1/network", s.handleSingle(true))
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/vet", s.handleVet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
@@ -200,6 +204,49 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.count(rep)
 	}
 	writeJSON(w, http.StatusOK, ccs.ReportEnvelope{Schema: ccs.SchemaVersion, Reports: reps})
+}
+
+// handleVet answers /v1/vet: one network-shaped CheckRequest in (the spec
+// and relation are optional — only the network matters), a versioned
+// VetEnvelope of static-analysis findings out. Analysis runs without a
+// checker, so vet queries don't enter the query/failed counters; admission
+// still applies — the pass is cheap but not free. Malformed bodies,
+// pair-shaped requests and unresolvable processes answer 400.
+func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	var req ccs.CheckRequest
+	if err := strictDecode(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if req.Network == nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": "/v1/vet wants a network request",
+		})
+		return
+	}
+	diags, err := ccs.VetNetworkRequest(*req.Network, nil)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if diags == nil {
+		diags = []ccs.Diagnostic{}
+	}
+	writeJSON(w, http.StatusOK, ccs.VetEnvelope{Schema: ccs.SchemaVersion, Vets: []ccs.VetReport{{
+		Label:       req.Label,
+		Network:     req.Network.Name,
+		Diagnostics: diags,
+	}}})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"ccs"
+)
+
+// deadNet is a network with an unanswered hidden handshake: the sender
+// offers a' but no component ever offers a, and a is hidden — the
+// dead-sync exhibit, inline for server travel.
+func deadNet() ccs.NetworkRequest {
+	const (
+		inlineSender = "fsp sender\nstates 2\nstart 0\next 0 x\next 1 x\narc 0 a' 1\narc 1 x 0\n"
+		inlineNoise  = "fsp noise\nstates 1\nstart 0\next 0 x\narc 0 y 0\n"
+	)
+	return ccs.NetworkRequest{
+		Name: "dead",
+		Components: []ccs.NetworkComponentRef{
+			{Process: inlineSender}, {Process: inlineNoise},
+		},
+		Hide: []string{"a"},
+	}
+}
+
+// TestVetEndpoint: POST /v1/vet statically analyzes a network request and
+// answers the versioned envelope; a clean network answers an empty (not
+// null) diagnostics list.
+func TestVetEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	body, err := json.Marshal(ccs.NewNetworkCheck("weak", deadNet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env ccs.VetEnvelope
+	if status := post(t, ts.URL+"/v1/vet", body, &env); status != http.StatusOK {
+		t.Fatalf("/v1/vet = %d, want 200", status)
+	}
+	if env.Schema != ccs.SchemaVersion || len(env.Vets) != 1 {
+		t.Fatalf("envelope schema %d with %d reports, want schema %d with 1", env.Schema, len(env.Vets), ccs.SchemaVersion)
+	}
+	rep := env.Vets[0]
+	if rep.Network != "dead" {
+		t.Errorf("report names network %q, want %q", rep.Network, "dead")
+	}
+	found := false
+	for _, d := range rep.Diagnostics {
+		if d.Code == ccs.CodeDeadSync && d.Severity == ccs.SeverityError {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics %v missing the dead-sync error", rep.Diagnostics)
+	}
+
+	// Clean network: one report, zero findings, and the list marshals as
+	// [] — clients must not have to null-check.
+	body, err = json.Marshal(ccs.NewNetworkCheck("weak", relayNet(counterTwo)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = ccs.VetEnvelope{}
+	if status := post(t, ts.URL+"/v1/vet", body, &env); status != http.StatusOK {
+		t.Fatalf("/v1/vet clean = %d, want 200", status)
+	}
+	if len(env.Vets) != 1 || len(env.Vets[0].Diagnostics) != 0 {
+		t.Fatalf("clean network: %+v, want one report with no findings", env.Vets)
+	}
+	if env.Vets[0].Diagnostics == nil {
+		t.Errorf("clean diagnostics decoded as nil; the wire document must carry []")
+	}
+}
+
+// TestVetEndpointRejects: pair requests and malformed bodies answer 400.
+func TestVetEndpointRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	pair, err := json.Marshal(ccs.NewCheck("weak", "expr:a", "expr:a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, body := range map[string][]byte{
+		"pair request":  pair,
+		"truncated":     []byte(`{"relation":"weak"`),
+		"unknown field": []byte(`{"relatoin":"weak"}`),
+	} {
+		if status := post(t, ts.URL+"/v1/vet", body, nil); status != http.StatusBadRequest {
+			t.Errorf("%s: /v1/vet = %d, want 400", name, status)
+		}
+	}
+}
+
+// TestNetworkResponseCarriesDiagnostics: /v1/network reports carry the
+// vet findings for the query's network alongside the verdict.
+func TestNetworkResponseCarriesDiagnostics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	nr := deadNet()
+	nr.Spec = "fsp spec\nstates 1\nstart 0\next 0 x\narc 0 y 0\n"
+	status, rep := postReq(t, ts.URL+"/v1/network", ccs.NewNetworkCheck("weak", nr))
+	if status != http.StatusOK || rep.Error != nil {
+		t.Fatalf("defective network query: status %d, report %+v", status, rep)
+	}
+	found := false
+	for _, d := range rep.Diagnostics {
+		if d.Code == ccs.CodeDeadSync {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("network report diagnostics %v missing dead-sync", rep.Diagnostics)
+	}
+
+	status, rep = postReq(t, ts.URL+"/v1/network", ccs.NewNetworkCheck("weak", relayNet(counterTwo)))
+	if status != http.StatusOK || rep.Error != nil || !rep.Equivalent {
+		t.Fatalf("clean network query: status %d, report %+v", status, rep)
+	}
+	if len(rep.Diagnostics) != 0 {
+		t.Errorf("clean network report carries diagnostics: %v", rep.Diagnostics)
+	}
+}

@@ -1,0 +1,230 @@
+package vet_test
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+
+	"ccs/internal/compose"
+	"ccs/internal/fsp"
+	"ccs/internal/gen"
+	"ccs/internal/vet"
+)
+
+// expectedSeverity is the catalogue's code -> severity contract; the
+// sort-mismatch severity is direction-dependent, so it is checked per
+// entry instead.
+var expectedSeverity = map[string]string{
+	vet.CodeDeadSync:          vet.SeverityError,
+	vet.CodeRestrictionSink:   vet.SeverityError,
+	vet.CodeRelabelCollision:  vet.SeverityWarning,
+	vet.CodeRelabelRestricted: vet.SeverityWarning,
+	vet.CodeTauDivergence:     vet.SeverityWarning,
+	vet.CodeUnguardedStart:    vet.SeverityWarning,
+	vet.CodeUndefinedChannel:  vet.SeverityError,
+}
+
+func codesOf(diags []vet.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Code
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestGalleryExactCodes pins the defect gallery: every exhibit reports
+// exactly its catalogued codes, once each, with the contracted severity.
+func TestGalleryExactCodes(t *testing.T) {
+	for _, entry := range gen.VetGallery() {
+		t.Run(entry.Name, func(t *testing.T) {
+			diags, err := vet.Network(entry.Net, entry.Spec)
+			if err != nil {
+				t.Fatalf("vet.Network: %v", err)
+			}
+			want := append([]string(nil), entry.Codes...)
+			sort.Strings(want)
+			got := codesOf(diags)
+			if strings.Join(got, ",") != strings.Join(want, ",") {
+				t.Fatalf("codes = %v, want %v\ndiagnostics:\n%s",
+					got, want, renderAll(diags))
+			}
+			for _, d := range diags {
+				if wantSev, ok := expectedSeverity[d.Code]; ok && d.Severity != wantSev {
+					t.Errorf("%s severity = %q, want %q", d.Code, d.Severity, wantSev)
+				}
+				if d.Message == "" {
+					t.Errorf("%s has an empty message", d.Code)
+				}
+			}
+		})
+	}
+}
+
+func renderAll(diags []vet.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}
+
+// TestSortMismatchDirections pins the direction-dependent severity: a
+// spec-only action is an error (sound inequivalence proof), a
+// network-only action is a warning (component reachability
+// overapproximates the product's).
+func TestSortMismatchDirections(t *testing.T) {
+	net, spec := gen.SortMismatchPair()
+	diags, err := vet.Network(net, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Code != vet.CodeSortMismatch || diags[0].Severity != vet.SeverityError {
+		t.Fatalf("spec-only direction: got %v, want one sort-mismatch error", diags)
+	}
+	if !vet.HasErrors(diags) {
+		t.Fatal("HasErrors = false on a sort-mismatch error")
+	}
+
+	// Swap the direction: the network performs a, b; the spec only a.
+	diags, err = vet.Network(net, specOf(t, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Code != vet.CodeSortMismatch || diags[0].Severity != vet.SeverityWarning {
+		t.Fatalf("network-only direction: got %v, want one sort-mismatch warning", diags)
+	}
+	if vet.HasErrors(diags) {
+		t.Fatal("HasErrors = true on warnings only")
+	}
+}
+
+func specOf(t *testing.T, actions ...string) *fsp.FSP {
+	t.Helper()
+	b := fsp.NewBuilder("spec")
+	b.AddStates(len(actions))
+	for i, act := range actions {
+		b.ArcName(fsp.State(i), act, fsp.State((i+1)%len(actions)))
+	}
+	for s := range actions {
+		b.Accept(fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
+// TestSpecDivergenceFindings positions divergence findings on the spec
+// side: a tau-cycling spec against a clean network yields a spec-marked
+// warning.
+func TestSpecDivergenceFindings(t *testing.T) {
+	b := fsp.NewBuilder("divspec")
+	b.AddStates(3)
+	b.ArcName(0, "x", 1)
+	b.ArcName(1, fsp.TauName, 2)
+	b.ArcName(2, fsp.TauName, 1)
+	b.ArcName(1, "y", 0)
+	// keep the sort aligned with CleanNetwork's post-hide sort {x, y}
+	for s := 0; s < 3; s++ {
+		b.Accept(fsp.State(s))
+	}
+	diags, err := vet.Network(gen.CleanNetwork(), b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Code != vet.CodeTauDivergence || !diags[0].Spec {
+		t.Fatalf("got %v, want one spec-positioned tau-divergence", diags)
+	}
+}
+
+// TestProcessAnalyzer covers the exported single-process entry point.
+func TestProcessAnalyzer(t *testing.T) {
+	b := fsp.NewBuilder("unguarded")
+	b.AddStates(1)
+	b.ArcName(0, fsp.TauName, 0)
+	b.Accept(0)
+	diags := vet.Process(b.MustBuild(), 0, true)
+	if len(diags) != 1 || diags[0].Code != vet.CodeUnguardedStart || !diags[0].Spec {
+		t.Fatalf("got %v, want one spec-positioned unguarded-start", diags)
+	}
+}
+
+// TestDiagnosticString pins the one-line rendering used by every text
+// front end.
+func TestDiagnosticString(t *testing.T) {
+	d := vet.Diagnostic{
+		Code: vet.CodeDeadSync, Severity: vet.SeverityError,
+		Channel: "a", Message: "never fires",
+	}
+	if got, want := d.String(), `error[dead-sync] channel "a": never fires`; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	d = vet.Diagnostic{
+		Code: vet.CodeRestrictionSink, Severity: vet.SeverityError,
+		Component: 2, Message: "deadlock",
+	}
+	if got, want := d.String(), "error[restriction-sink] component 2: deadlock"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	d = vet.Diagnostic{
+		Code: vet.CodeUnguardedStart, Severity: vet.SeverityWarning,
+		Spec: true, Message: "diverges",
+	}
+	if got, want := d.String(), "warning[unguarded-start] spec: diverges"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestDiagnosticJSONRoundTrip pins the wire form shared with the request
+// schema and the /v1/vet endpoint.
+func TestDiagnosticJSONRoundTrip(t *testing.T) {
+	in := []vet.Diagnostic{
+		{Code: vet.CodeDeadSync, Severity: vet.SeverityError, Channel: "a", Message: "m"},
+		{Code: vet.CodeUnguardedStart, Severity: vet.SeverityWarning, Spec: true, Component: 0, Message: "n"},
+		{Code: vet.CodeRestrictionSink, Severity: vet.SeverityError, Component: 3, Message: "o"},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []vet.Diagnostic
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost entries: %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("entry %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+	// Zero position fields stay off the wire.
+	if strings.Contains(string(data), `"component":0`) || strings.Contains(string(data), `"spec":false`) {
+		t.Fatalf("zero position fields serialized: %s", data)
+	}
+}
+
+// TestNetworkGalleryNoErrors asserts the equivalence gallery's networks —
+// all well-formed by construction — draw no error-severity findings
+// (warnings such as the token ring's idle tau-cycles are expected).
+func TestNetworkGalleryNoErrors(t *testing.T) {
+	for _, entry := range gen.NetworkGallery() {
+		diags, err := vet.Network(entry.Net, entry.Spec)
+		if err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		for _, d := range diags {
+			if d.Severity == vet.SeverityError {
+				t.Errorf("%s: unexpected error finding: %s", entry.Name, d)
+			}
+		}
+	}
+}
+
+// TestValidationErrors: a malformed network is an error, not diagnostics.
+func TestValidationErrors(t *testing.T) {
+	net := compose.New("bad", gen.CleanNetwork().Components[0].P).Hide(fsp.TauName)
+	if _, err := vet.Network(net, nil); err == nil {
+		t.Fatal("hiding tau should surface the Validate error")
+	}
+}

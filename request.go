@@ -207,6 +207,13 @@ type Report struct {
 	// was decided on the fly (nil on pair queries, pinned-mtc routes and
 	// fallbacks).
 	OTF *OTFStats `json:"otf,omitempty"`
+	// Diagnostics carries the static-analysis findings about a network
+	// query's network and spec (see VetNetwork and the Code* catalogue).
+	// Vet runs on every network query — it is linear in the description —
+	// so the server's /v1/network responses and the batch reports warn
+	// about defective wirings alongside the verdict. Empty on pair
+	// queries.
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
 	// ElapsedMS is the query's wall time in milliseconds.
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Error reports a failed query; the verdict fields are then
@@ -506,6 +513,13 @@ func (c *Checker) doNetwork(ctx context.Context, req CheckRequest, rel Relation,
 	if err != nil {
 		rep.Error = inputErr("spec: %v", err)
 		return
+	}
+	// Every network query is vetted — the pass is linear in the
+	// description, and a defective wiring explains many a surprising
+	// verdict. Findings ride along in the report; they never block the
+	// check (the CLI's -strict-vet enforces them before submitting).
+	if diags, err := VetNetwork(net, spec); err == nil {
+		rep.Diagnostics = diags
 	}
 	switch route {
 	case RouteAuto, "otf":

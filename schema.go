@@ -28,6 +28,51 @@ import (
 // accept documents up to this version and reject newer ones.
 const SchemaVersion = 1
 
+// maxJSONDepth bounds the bracket-nesting depth a JSON document may use.
+// The schema's types nest a small constant number of levels, so the bound
+// is far above any legitimate document while keeping adversarial
+// "[[[[…]]]]" bodies from burning a deep recursive decode. Exceeding it
+// yields ErrJSONDepth.
+const maxJSONDepth = 128
+
+// ErrJSONDepth is returned (wrapped) by the JSON decoders when a document
+// nests deeper than maxJSONDepth.
+var ErrJSONDepth = fmt.Errorf("ccs: JSON document nests deeper than %d levels", maxJSONDepth)
+
+// checkJSONDepth scans the raw document and rejects bracket nesting past
+// maxJSONDepth before any real decoding starts. The scan is string-aware:
+// brackets inside string literals (and escaped quotes inside those) don't
+// count. Malformed documents are left for the decoder to diagnose.
+func checkJSONDepth(data []byte) error {
+	depth, inString, escaped := 0, false, false
+	for _, c := range data {
+		switch {
+		case escaped:
+			escaped = false
+		case inString:
+			switch c {
+			case '\\':
+				escaped = true
+			case '"':
+				inString = false
+			}
+		default:
+			switch c {
+			case '"':
+				inString = true
+			case '{', '[':
+				depth++
+				if depth > maxJSONDepth {
+					return ErrJSONDepth
+				}
+			case '}', ']':
+				depth--
+			}
+		}
+	}
+	return nil
+}
+
 // RequestEnvelope is the versioned JSON document carrying requests.
 type RequestEnvelope struct {
 	Schema   int            `json:"schema"`
@@ -53,6 +98,9 @@ func EncodeReports(reps []Report) ([]byte, error) {
 // DecodeRequests parses a JSON request document: a versioned envelope, a
 // bare array of requests, or a single request object.
 func DecodeRequests(data []byte) ([]CheckRequest, error) {
+	if err := checkJSONDepth(data); err != nil {
+		return nil, err
+	}
 	trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool {
 		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
 	})
@@ -89,6 +137,9 @@ func DecodeRequests(data []byte) ([]CheckRequest, error) {
 
 // DecodeReports parses a versioned JSON report document.
 func DecodeReports(data []byte) ([]Report, error) {
+	if err := checkJSONDepth(data); err != nil {
+		return nil, err
+	}
 	var env ReportEnvelope
 	if err := strictUnmarshal(data, &env); err != nil {
 		return nil, err

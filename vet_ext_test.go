@@ -1,0 +1,129 @@
+package ccs_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"ccs"
+)
+
+// deadSyncRequest is the inline dead-sync exhibit: a hidden channel whose
+// only user sends and nobody receives.
+func deadSyncRequest() ccs.NetworkRequest {
+	return ccs.NetworkRequest{
+		Name: "dead",
+		Components: []ccs.NetworkComponentRef{
+			{Process: "fsp sender\nstates 2\nstart 0\next 0 x\next 1 x\narc 0 a' 1\narc 1 x 0\n"},
+			{Process: "fsp noise\nstates 1\nstart 0\next 0 x\narc 0 y 0\n"},
+		},
+		Hide: []string{"a"},
+		Spec: "fsp spec\nstates 1\nstart 0\next 0 x\narc 0 y 0\n",
+	}
+}
+
+// TestJSONDepthGuard: pathologically nested documents are rejected with
+// the typed depth error before the decoder recurses into them, on every
+// decode entry point — while brackets inside strings don't count.
+func TestJSONDepthGuard(t *testing.T) {
+	deep := strings.Repeat("[", 300) + strings.Repeat("]", 300)
+	for name, decode := range map[string]func([]byte) error{
+		"requests": func(b []byte) error { _, err := ccs.DecodeRequests(b); return err },
+		"reports":  func(b []byte) error { _, err := ccs.DecodeReports(b); return err },
+		"vets":     func(b []byte) error { _, err := ccs.DecodeVetReports(b); return err },
+	} {
+		err := decode([]byte(deep))
+		if !errors.Is(err, ccs.ErrJSONDepth) {
+			t.Errorf("%s: deep document error = %v, want ErrJSONDepth", name, err)
+		}
+	}
+
+	// Brackets inside string values (and escaped quotes before them) are
+	// content, not nesting.
+	label := strings.Repeat("[{", 300) + `\"` + strings.Repeat("}", 300)
+	doc := `{"relation":"weak","p":"expr:a","q":"expr:a","label":"` + label + `"}`
+	reqs, err := ccs.DecodeRequests([]byte(doc))
+	if err != nil || len(reqs) != 1 {
+		t.Fatalf("bracket-heavy string tripped the guard: %v", err)
+	}
+	if !strings.Contains(reqs[0].Label, "[{") {
+		t.Errorf("label mangled: %q", reqs[0].Label)
+	}
+}
+
+// TestReportDiagnosticsRoundTrip: network reports carry the vet findings
+// and they survive the report codec.
+func TestReportDiagnosticsRoundTrip(t *testing.T) {
+	c := ccs.NewChecker()
+	rep := c.Do(context.Background(), ccs.NewNetworkCheck("weak", deadSyncRequest()), nil)
+	if rep.Error != nil {
+		t.Fatalf("network query failed: %+v", rep.Error)
+	}
+	if len(rep.Diagnostics) == 0 {
+		t.Fatal("network report carries no diagnostics for the dead-sync exhibit")
+	}
+	data, err := ccs.EncodeReports([]ccs.Report{rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ccs.DecodeReports(data)
+	if err != nil || len(back) != 1 {
+		t.Fatalf("decode: %v", err)
+	}
+	found := false
+	for _, d := range back[0].Diagnostics {
+		if d.Code == ccs.CodeDeadSync && d.Severity == ccs.SeverityError && d.Channel == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("decoded diagnostics %v lost the dead-sync finding", back[0].Diagnostics)
+	}
+
+	// Pair reports have nothing to vet and must not grow a diagnostics
+	// key on the wire.
+	pair := c.Do(context.Background(), ccs.NewCheck("weak", "expr:a", "expr:a"), nil)
+	data, err = ccs.EncodeReports([]ccs.Report{pair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "diagnostics") {
+		t.Errorf("pair report leaked a diagnostics field:\n%s", data)
+	}
+}
+
+// TestVetReportCodec: EncodeVetReports/DecodeVetReports round-trip, and
+// the decoder enforces the same strictness as the other codecs.
+func TestVetReportCodec(t *testing.T) {
+	diags, err := ccs.VetNetworkRequest(deadSyncRequest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ccs.VetHasErrors(diags) {
+		t.Fatalf("exhibit drew no errors: %v", diags)
+	}
+	reps := []ccs.VetReport{{Label: "dead.net", Network: "dead", Diagnostics: diags}}
+	data, err := ccs.EncodeVetReports(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ccs.DecodeVetReports(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Label != "dead.net" || back[0].Network != "dead" ||
+		len(back[0].Diagnostics) != len(diags) || back[0].Diagnostics[0].Code != diags[0].Code {
+		t.Fatalf("round trip mangled vet reports: %+v", back)
+	}
+
+	for name, doc := range map[string]string{
+		"future schema": `{"schema":99,"vets":[]}`,
+		"unknown field": `{"schema":1,"vest":[]}`,
+		"truncated":     `{"schema":1,"vets":[`,
+	} {
+		if _, err := ccs.DecodeVetReports([]byte(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
