@@ -34,6 +34,7 @@ func cmdBatch(args []string) (*bool, error) {
 	stats := fs.Bool("stats", false, "report cache/store counters on stderr")
 	cacheDir := fs.String("cache-dir", "", "persistent artifact store directory (empty = memory-only)")
 	strictVet := fs.Bool("strict-vet", false, "fail (exit 2) when the vet pre-flight reports findings on any network query")
+	traceFlag := fs.Bool("trace", false, "trace every query's phase timeline (stderr; also lands in -json reports)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -52,6 +53,11 @@ func cmdBatch(args []string) (*bool, error) {
 	reqs, err := ccs.ParseRequests(in, *relName)
 	if err != nil {
 		return nil, err
+	}
+	if *traceFlag {
+		for i := range reqs {
+			reqs[i].Trace = true
+		}
 	}
 	// Pre-flight every network query through the static-analysis pass
 	// (pair queries have nothing to vet). Resolution failures are left for
@@ -133,6 +139,16 @@ func cmdBatch(args []string) (*bool, error) {
 	}
 	if !*jsonOut {
 		fmt.Printf("%d queries in %s (%d workers)\n", len(reports), total.Round(time.Millisecond), poolSize)
+	}
+	if *traceFlag {
+		for i, rep := range reports {
+			label := rep.Label
+			if label == "" {
+				label = fmt.Sprintf("query %d", i+1)
+			}
+			fmt.Fprintf(os.Stderr, "%s ", label)
+			printTrace(os.Stderr, rep.Trace, rep.ElapsedMS)
+		}
 	}
 	switch {
 	case badInput > 0:

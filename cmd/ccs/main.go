@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,6 +35,14 @@ import (
 	"ccs/internal/failures"
 	"ccs/internal/fsp"
 )
+
+// version is the build version, stamped at link time with
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/ccs
+//
+// and surfaced by `ccs -version`, the server's /healthz and /v1/stats,
+// and the ccs_build_info metric.
+var version = "dev"
 
 // exitError carries an explicit exit status through run's error path, so
 // subcommands can distinguish "the tool failed" (2) from "the run
@@ -89,6 +98,9 @@ func run(args []string) int {
 		err = cmdDot(args[1:])
 	case "aut":
 		err = cmdAUT(args[1:])
+	case "version", "-version", "--version":
+		fmt.Printf("ccs %s\n", version)
+		return 0
 	case "help", "-h", "--help":
 		usage()
 		return 0
@@ -171,6 +183,7 @@ func loadProcess(arg string) (*ccs.Process, error) {
 func cmdCheck(args []string) (*bool, error) {
 	fs := flag.NewFlagSet("check", flag.ContinueOnError)
 	relName := fs.String("rel", "strong", "equivalence relation")
+	traceFlag := fs.Bool("trace", false, "print the query's phase timeline on stderr")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -180,6 +193,29 @@ func cmdCheck(args []string) (*bool, error) {
 	rel, k, err := ccs.ParseRelation(*relName)
 	if err != nil {
 		return nil, err
+	}
+	if *traceFlag {
+		// The traced path goes through the request facade, where the
+		// phase spans live; the file arguments become process sources
+		// resolved by the usual loader.
+		req := ccs.NewCheck(*relName, fs.Arg(0), fs.Arg(1), ccs.WithTrace(), ccs.WithExplain())
+		rep := ccs.NewChecker().Do(context.Background(), req, loadProcess)
+		printTrace(os.Stderr, rep.Trace, rep.ElapsedMS)
+		if rep.Error != nil {
+			if rep.Error.Kind == ccs.ErrorKindInput {
+				return nil, fmt.Errorf("%s", rep.Error.Message)
+			}
+			return nil, queryErr(fmt.Errorf("%s", rep.Error.Message))
+		}
+		if rep.Equivalent {
+			fmt.Printf("equivalent (%s)\n", *relName)
+		} else {
+			fmt.Printf("NOT equivalent (%s)\n", *relName)
+			if rep.Counterexample != "" {
+				fmt.Printf("distinguished by: %s\n", rep.Counterexample)
+			}
+		}
+		return &rep.Equivalent, nil
 	}
 	p, err := loadProcess(fs.Arg(0))
 	if err != nil {

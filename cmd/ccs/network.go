@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"ccs"
 )
@@ -48,6 +49,8 @@ func cmdNetwork(args []string) (*bool, error) {
 	stats := fs.Bool("stats", false, "report flat product size and cache/store counters")
 	cacheDir := fs.String("cache-dir", "", "persistent artifact store directory (empty = memory-only)")
 	strictVet := fs.Bool("strict-vet", false, "fail (exit 2) when the vet pre-flight reports findings")
+	traceFlag := fs.Bool("trace", false, "print the query's phase timeline (parse, vet, quotient, otf-explore, ...) on stderr")
+	progress := fs.Bool("progress", false, "print a live exploration progress line on stderr (needs -otf)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -56,6 +59,12 @@ func cmdNetwork(args []string) (*bool, error) {
 	}
 	if *flat && *otfFlag {
 		return nil, fmt.Errorf("-flat and -otf are mutually exclusive")
+	}
+	if *traceFlag && *flat {
+		return nil, fmt.Errorf("-trace follows the checking facade; it does not apply to -flat")
+	}
+	if *progress && !*otfFlag {
+		return nil, fmt.Errorf("-progress reports the on-the-fly game; it needs -otf")
 	}
 	var in io.Reader = os.Stdin
 	if fs.Arg(0) != "-" {
@@ -156,8 +165,21 @@ func cmdNetwork(args []string) (*bool, error) {
 		if *otfFlag {
 			reqRoute = "otf"
 		}
-		req := ccs.NewNetworkCheck(relName, nr, ccs.WithRoute(reqRoute))
-		rep := checker.Do(context.Background(), req, load)
+		opts := []ccs.CheckOption{ccs.WithRoute(reqRoute)}
+		if *traceFlag {
+			opts = append(opts, ccs.WithTrace())
+		}
+		ctx := context.Background()
+		if *progress {
+			ctx = ccs.WithOTFProgress(ctx, otfProgressPrinter(os.Stderr), 200*time.Millisecond)
+		}
+		req := ccs.NewNetworkCheck(relName, nr, opts...)
+		rep := checker.Do(ctx, req, load)
+		if *traceFlag {
+			// Even a failed or timed-out query prints the phases that
+			// completed — that partial timeline is the diagnosis.
+			printTrace(os.Stderr, rep.Trace, rep.ElapsedMS)
+		}
 		if rep.Error != nil {
 			err := fmt.Errorf("%s", rep.Error.Message)
 			if rep.Error.Kind == ccs.ErrorKindInput {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -34,6 +35,8 @@ func cmdServe(args []string) (*bool, error) {
 	workers := fs.Int("workers", 0, "worker pool size per batch request (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", time.Minute, "per-query timeout cap (0 = none)")
 	maxInflight := fs.Int("max-inflight", 0, "admission control: max concurrent requests (0 = 2*GOMAXPROCS)")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+	accessLog := fs.String("access-log", "", "write one JSON line per request to FILE ('-' = stderr; empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -49,11 +52,27 @@ func cmdServe(args []string) (*bool, error) {
 			return nil, queryErr(err)
 		}
 	}
+	var logW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		logW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, queryErr(err)
+		}
+		defer f.Close()
+		logW = f
+	}
 	srv, err := server.New(server.Config{
 		Checker:     checker,
 		Workers:     *workers,
 		MaxInFlight: *maxInflight,
 		MaxTimeout:  *timeout,
+		Version:     version,
+		EnablePprof: *pprofFlag,
+		AccessLog:   logW,
 	})
 	if err != nil {
 		return nil, err
@@ -71,7 +90,7 @@ func cmdServe(args []string) (*bool, error) {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "ccs serve: listening on http://%s (cache-dir=%q)\n", ln.Addr(), *cacheDir)
+	fmt.Fprintf(os.Stderr, "ccs serve: %s listening on http://%s (cache-dir=%q)\n", version, ln.Addr(), *cacheDir)
 
 	select {
 	case <-ctx.Done():

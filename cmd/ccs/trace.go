@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ccs"
+)
+
+// printTrace renders a query's phase timeline (-trace) on w: one line per
+// span with its offset from the query's start, its wall time, and its
+// attributes. Spans are flat, so the header's sum against the query's
+// wall time shows how much of the query the phases account for.
+func printTrace(w io.Writer, tr *ccs.TraceReport, wallMS float64) {
+	if tr == nil {
+		return
+	}
+	var sum float64
+	for _, sp := range tr.Spans {
+		sum += sp.DurationMS
+	}
+	fmt.Fprintf(w, "trace %s: %d phases, %.2fms of %.2fms wall\n", tr.ID, len(tr.Spans), sum, wallMS)
+	for _, sp := range tr.Spans {
+		keys := make([]string, 0, len(sp.Attrs))
+		for k := range sp.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		attrs := ""
+		for _, k := range keys {
+			attrs += fmt.Sprintf("  %s=%s", k, sp.Attrs[k])
+		}
+		fmt.Fprintf(w, "  +%9.3fms %-12s %9.3fms%s\n", sp.StartMS, sp.Phase, sp.DurationMS, attrs)
+	}
+}
+
+// otfProgressPrinter returns the -progress hook: a live, carriage-return
+// overwritten line of the on-the-fly game's counters, finished with a
+// newline when the final snapshot lands. It runs on the scheduler's
+// sampler goroutine; w is written from that one goroutine only.
+func otfProgressPrinter(w io.Writer) ccs.OTFProgressFunc {
+	return func(s ccs.OTFProgress) {
+		line := fmt.Sprintf("otf: %d pairs, %d explored (%.0f pairs/s), %d steals, %d workers",
+			s.Pairs, s.Explored, s.Rate(), s.Steals, s.Workers)
+		if s.SpecSubsets > 0 {
+			line += fmt.Sprintf(", %d spec subsets", s.SpecSubsets)
+		}
+		if s.Final {
+			fmt.Fprintf(w, "\r%s\n", line)
+		} else {
+			fmt.Fprintf(w, "\r%s", line)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVersionCommand(t *testing.T) {
+	for _, arg := range []string{"version", "-version", "--version"} {
+		code, out, _ := captureRun(t, []string{arg})
+		if code != 0 || !strings.Contains(out, "ccs dev") {
+			t.Fatalf("%s: exit %d, out %q", arg, code, out)
+		}
+	}
+}
+
+func TestCheckTrace(t *testing.T) {
+	code, out, errOut := captureRun(t, []string{"check", "-trace", "-rel", "weak", "expr:a+a", "expr:a"})
+	if code != 0 || !strings.Contains(out, "equivalent") {
+		t.Fatalf("traced check: exit %d, out %q", code, out)
+	}
+	for _, want := range []string{"trace ", "parse", "quotient", "solve"} {
+		if !strings.Contains(errOut, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, errOut)
+		}
+	}
+	// A traced inequivalent pair still explains itself.
+	code, out, _ = captureRun(t, []string{"check", "-trace", "-rel", "strong", "expr:ab+ac", "expr:a(b+c)"})
+	if code != 1 || !strings.Contains(out, "distinguished by") {
+		t.Fatalf("traced inequivalent check: exit %d, out %q", code, out)
+	}
+}
+
+func TestNetworkTraceAndProgress(t *testing.T) {
+	cell := writeFixture(t, "cell.fsp", relayCell)
+	spec := writeFixture(t, "counter.fsp", counterTwo)
+	net := relayNetFile(t, cell, spec)
+
+	code, _, errOut := captureRun(t, []string{"network", "-otf", "-trace", net})
+	if code != 0 {
+		t.Fatalf("traced otf network: exit %d\n%s", code, errOut)
+	}
+	for _, want := range []string{"trace ", "parse", "vet", "quotient", "otf-explore"} {
+		if !strings.Contains(errOut, want) {
+			t.Fatalf("network trace missing %q:\n%s", want, errOut)
+		}
+	}
+
+	// -trace works on the mtc route too, with the compose phase.
+	code, _, errOut = captureRun(t, []string{"network", "-trace", net})
+	if code != 0 || !strings.Contains(errOut, "compose") {
+		t.Fatalf("traced mtc network: exit %d\n%s", code, errOut)
+	}
+
+	code, _, errOut = captureRun(t, []string{"network", "-otf", "-progress", net})
+	if code != 0 || !strings.Contains(errOut, "otf: ") || !strings.Contains(errOut, "pairs") {
+		t.Fatalf("progress network: exit %d\n%s", code, errOut)
+	}
+}
+
+func TestNetworkTraceFlagValidation(t *testing.T) {
+	cell := writeFixture(t, "cell.fsp", relayCell)
+	spec := writeFixture(t, "counter.fsp", counterTwo)
+	net := relayNetFile(t, cell, spec)
+	if code, _, _ := captureRun(t, []string{"network", "-flat", "-trace", net}); code != 2 {
+		t.Fatalf("-flat -trace should exit 2, got %d", code)
+	}
+	if code, _, _ := captureRun(t, []string{"network", "-progress", net}); code != 2 {
+		t.Fatalf("-progress without -otf should exit 2, got %d", code)
+	}
+}
+
+func TestBatchTrace(t *testing.T) {
+	list := writeFixture(t, "list.txt", "weak expr:a+a expr:a\nstrong expr:a expr:a\n")
+	code, _, errOut := captureRun(t, []string{"batch", "-trace", list})
+	if code != 0 {
+		t.Fatalf("traced batch: exit %d\n%s", code, errOut)
+	}
+	if strings.Count(errOut, "trace ") < 2 {
+		t.Fatalf("batch trace output incomplete:\n%s", errOut)
+	}
+}

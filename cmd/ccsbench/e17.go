@@ -92,7 +92,7 @@ func runE17(w io.Writer, seed int64, quick bool) error {
 		var minStates int
 		minT := timed(func() {
 			c := engine.New()
-			min, err := c.ComposeNetwork(net, engine.Weak)
+			min, err := c.ComposeNetwork(ctx, net, engine.Weak)
 			if err != nil {
 				panic(err)
 			}

@@ -98,7 +98,7 @@ func runE19(w io.Writer, seed int64, quick bool) error {
 		var mtcStates int
 		mtcT := timed(func() {
 			c := engine.New()
-			min, err := c.ComposeNetwork(tc.net, engine.Weak)
+			min, err := c.ComposeNetwork(ctx, tc.net, engine.Weak)
 			if err != nil {
 				panic(err)
 			}

@@ -113,7 +113,7 @@ func runE21(w io.Writer, seed int64, quick bool) error {
 				err = qerr
 				return
 			}
-			minNet, qerr := eng.MinimizeNetwork(c.net, engine.Weak)
+			minNet, qerr := eng.MinimizeNetwork(ctx, c.net, engine.Weak)
 			if qerr != nil {
 				err = qerr
 				return

@@ -32,6 +32,8 @@ func main() {
 	e19json := flag.String("e19json", "", "file where E19 writes its JSON trajectory (default: not written)")
 	e20json := flag.String("e20json", "", "file where E20 writes its JSON trajectory (default: not written)")
 	e21json := flag.String("e21json", "", "file where E21 writes its JSON trajectory (default: not written)")
+	e22json := flag.String("e22json", "", "file where E22 writes its JSON trajectory (default: not written)")
+	summary := flag.Bool("summary", false, "print one gate-vs-measured table from the committed BENCH_E*.json files and exit")
 	flag.Parse()
 	benchJSONPath = *benchjson
 	e17JSONPath = *e17json
@@ -39,6 +41,15 @@ func main() {
 	e19JSONPath = *e19json
 	e20JSONPath = *e20json
 	e21JSONPath = *e21json
+	e22JSONPath = *e22json
+
+	if *summary {
+		if err := runSummary(os.Stdout, "."); err != nil {
+			fmt.Fprintf(os.Stderr, "ccsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(os.Stdout, *exp, *seed, *quick); err != nil {
 		fmt.Fprintf(os.Stderr, "ccsbench: %v\n", err)
@@ -75,6 +86,7 @@ func experiments() []experiment {
 		{"e19", "Determinized on-the-fly game: nondeterministic specs vs minimize-then-compose", runE19},
 		{"e20", "Persistent artifact store: cold vs warm across a service restart", runE20},
 		{"e21", "Work-stealing otf scheduler + minimal ≈ᶜ quotients vs level-barrier + legacy", runE21},
+		{"e22", "Observability overhead: traced + progress-sampled otf check vs bare", runE22},
 	}
 }
 

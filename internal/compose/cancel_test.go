@@ -1,0 +1,53 @@
+package compose_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"ccs/internal/gen"
+)
+
+// pollCtx counts Err() calls and cancels after the given number, so a
+// test can prove a loop polls repeatedly (not just at entry) and that
+// cancellation takes effect mid-run.
+type pollCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *pollCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestFSPCtxCancelsMidComposition: the unminimized token ring's flat
+// product is tens of thousands of states, far past the 256-state poll
+// stride. A context that trips on the second poll must abort the walk
+// with context.Canceled after more than one poll — proving the product
+// loop re-checks the context inside the walk, not only at entry.
+func TestFSPCtxCancelsMidComposition(t *testing.T) {
+	net := gen.TokenRing(8)
+
+	ctx := &pollCtx{Context: context.Background(), after: 1}
+	if _, err := net.FSPCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FSPCtx error = %v, want context.Canceled", err)
+	}
+	if got := ctx.calls.Load(); got < 2 {
+		t.Fatalf("context polled %d times, want >= 2 (in-loop polling)", got)
+	}
+
+	// Same walk under a live context completes, and the CSR route honors
+	// cancellation the same way.
+	if _, err := net.FSPCtx(context.Background()); err != nil {
+		t.Fatalf("uncancelled FSPCtx: %v", err)
+	}
+	idxCtx := &pollCtx{Context: context.Background(), after: 1}
+	if _, _, err := net.IndexCtx(idxCtx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("IndexCtx error = %v, want context.Canceled", err)
+	}
+}

@@ -29,6 +29,7 @@
 package compose
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -390,10 +391,18 @@ func (e *Expansion) AppendExtNames(dst []string, cur []int32, seen map[string]bo
 	return dst
 }
 
+// pollEvery is how many product states are expanded between context
+// checks in run — the same stride the otf scheduler uses, cheap enough
+// to be invisible and tight enough that cancelling a huge flat
+// composition takes effect within a few hundred states.
+const pollEvery = 256
+
 // run walks the reachable product through Succ, interning state vectors in
 // discovery order and emitting every product transition into the sink.
-// Restriction never removes a handshake.
-func (e *Expansion) run(sink productSink) {
+// Restriction never removes a handshake. The walk polls ctx every
+// pollEvery expanded states and abandons the product on cancellation; a
+// partially filled sink is discarded by the caller.
+func (e *Expansion) run(ctx context.Context, sink productSink) error {
 	k := len(e.Trans)
 	ids := map[string]int32{}
 	var order []int32 // flat vectors, stride k
@@ -426,12 +435,18 @@ func (e *Expansion) run(sink productSink) {
 	copy(cur, e.Starts)
 	intern(cur)
 	for head := int32(0); int(head)*k < len(order); head++ {
+		if head%pollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		copy(cur, order[int(head)*k:int(head)*k+k])
 		e.Succ(cur, succ, func(label int32, s []int32) bool {
 			sink.addArc(head, label, intern(s))
 			return true
 		})
 	}
+	return nil
 }
 
 // fspSink materializes the product as an *fsp.FSP. The builder's alphabet
@@ -455,7 +470,12 @@ func (s *fspSink) addArc(from, label, to int32) {
 // Milner's (C1[f1] | ... | Ck[fk]) \ Hidden, with only reachable states
 // constructed. Use this form to feed the product into the quotient,
 // saturation and equivalence pipelines.
-func (n *Network) FSP() (*fsp.FSP, error) {
+func (n *Network) FSP() (*fsp.FSP, error) { return n.FSPCtx(context.Background()) }
+
+// FSPCtx is FSP with cancellation: the product walk polls ctx and
+// returns its error mid-composition, so a server deadline or Ctrl-C
+// stops a state-space explosion instead of riding it out.
+func (n *Network) FSPCtx(ctx context.Context) (*fsp.FSP, error) {
 	e, err := n.Expand()
 	if err != nil {
 		return nil, err
@@ -469,7 +489,9 @@ func (n *Network) FSP() (*fsp.FSP, error) {
 		b.Action(l)
 	}
 	sink := &fspSink{b: b}
-	e.run(sink)
+	if err := e.run(ctx, sink); err != nil {
+		return nil, err
+	}
 	b.SetStart(0)
 	out, err := b.Build()
 	if err != nil {
@@ -513,11 +535,18 @@ func (s *csrSink) addArc(from, label, to int32) { s.b.Add(from, label, to) }
 // product: the FSP form is never built. Labels are named, so the index
 // unions with FromFSP-built indexes of other processes.
 func (n *Network) Index() (*lts.Index, []int32, error) {
+	return n.IndexCtx(context.Background())
+}
+
+// IndexCtx is Index with cancellation, mirroring FSPCtx.
+func (n *Network) IndexCtx(ctx context.Context) (*lts.Index, []int32, error) {
 	e, err := n.Expand()
 	if err != nil {
 		return nil, nil, err
 	}
 	sink := &csrSink{b: lts.NewNamedBuilder(0, e.Labels), sigs: map[string]int32{}}
-	e.run(sink)
+	if err := e.run(ctx, sink); err != nil {
+		return nil, nil, err
+	}
 	return sink.b.Build(), sink.initial, nil
 }

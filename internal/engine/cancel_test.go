@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"ccs/internal/gen"
+	"ccs/internal/obs"
+)
+
+// pollCtx counts Err() calls and trips after a budget, proving a path
+// polls its context repeatedly rather than only at entry (the PR 6 gap).
+type pollCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *pollCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCheckNetworkCancelsMidRun: the minimize-then-compose path must
+// observe cancellation between component quotients and inside the
+// product walk — not just at CheckNetwork entry.
+func TestCheckNetworkCancelsMidRun(t *testing.T) {
+	net := gen.TokenRing(8)
+	spec := gen.TokenRingSpec()
+	c := New()
+
+	ctx := &pollCtx{Context: context.Background(), after: 2}
+	if _, err := c.CheckNetwork(ctx, net, spec, Weak, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CheckNetwork error = %v, want context.Canceled", err)
+	}
+	if got := ctx.calls.Load(); got < 3 {
+		t.Fatalf("context polled %d times, want >= 3 (per-component polling)", got)
+	}
+
+	// The same query under a live context completes.
+	eq, err := c.CheckNetwork(context.Background(), net, spec, Weak, 0)
+	if err != nil {
+		t.Fatalf("uncancelled CheckNetwork: %v", err)
+	}
+	if !eq {
+		t.Fatalf("token ring not weakly equivalent to its spec")
+	}
+}
+
+// TestCheckStagePolls: the pair path polls between the quotient and
+// solve phases. A budget that survives the entry poll and the quotient
+// phase must still get the query cancelled before the solve.
+func TestCheckStagePolls(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	p := gen.Random(rng, 40, 5, 3, 0.3)
+	q := gen.Random(rng, 40, 5, 3, 0.3)
+	c := New()
+	ctx := &pollCtx{Context: context.Background(), after: 1}
+	if _, err := c.Check(ctx, Query{P: p, Q: q, Rel: Weak}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Check error = %v, want context.Canceled", err)
+	}
+	if got := ctx.calls.Load(); got < 2 {
+		t.Fatalf("context polled %d times, want >= 2 (stage polling)", got)
+	}
+}
+
+// TestNetworkTraceSpans: a traced network query records the quotient and
+// exploration phases with their route attributes, and the spans carry
+// positive, ordered offsets.
+func TestNetworkTraceSpans(t *testing.T) {
+	net := gen.TokenRing(6)
+	spec := gen.TokenRingSpec()
+	c := New()
+
+	tr := obs.NewTrace("")
+	ctx := obs.WithTrace(context.Background(), tr)
+	eq, info, err := c.CheckNetworkOTFInfo(ctx, net, spec, Weak, 0)
+	if err != nil {
+		t.Fatalf("CheckNetworkOTFInfo: %v", err)
+	}
+	if !eq || !info.OnTheFly {
+		t.Fatalf("eq=%v route=%q, want on-the-fly equivalence", eq, info.Route)
+	}
+	phases := map[string]bool{}
+	for _, sp := range tr.Spans() {
+		phases[sp.Phase] = true
+		if sp.Duration < 0 || sp.Start < 0 {
+			t.Fatalf("span %q has negative timing", sp.Phase)
+		}
+	}
+	for _, want := range []string{"quotient", "otf-explore"} {
+		if !phases[want] {
+			t.Fatalf("missing %q span; got %v", want, phases)
+		}
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"ccs/internal/fsp"
 	"ccs/internal/kequiv"
 	"ccs/internal/lts"
+	"ccs/internal/obs"
 	"ccs/internal/simulation"
 	"ccs/internal/store"
 )
@@ -277,17 +278,21 @@ func (c *Checker) keys(a *artifacts) (fp, fp2 uint64) {
 // Closure returns the memoized tau-closure of p.
 func (c *Checker) Closure(p *fsp.FSP) fsp.Closure {
 	a := c.art(p)
+	amClosure.req.Inc()
 	a.closureOnce.Do(func() {
 		if c.st != nil {
 			fp, fp2 := c.keys(a)
 			if clo, ok := c.st.GetClosure(fp, fp2); ok && clo.NumStates() == p.NumStates() {
 				a.closure = clo
+				amClosure.storeHit.Inc()
 				return
 			}
+			amClosure.derived.Inc()
 			a.closure = fsp.TauClosure(p)
 			c.st.PutClosure(fp, fp2, a.closure)
 			return
 		}
+		amClosure.derived.Inc()
 		a.closure = fsp.TauClosure(p)
 	})
 	return a.closure
@@ -299,17 +304,21 @@ func (c *Checker) Closure(p *fsp.FSP) fsp.Closure {
 // re-flattening the processes.
 func (c *Checker) Index(p *fsp.FSP) *lts.Index {
 	a := c.art(p)
+	amIndex.req.Inc()
 	a.idxOnce.Do(func() {
 		if c.st != nil {
 			fp, fp2 := c.keys(a)
 			if idx, ok := c.st.GetIndex(fp, fp2); ok && idx.N() == p.NumStates() {
 				a.idx = idx
+				amIndex.storeHit.Inc()
 				return
 			}
+			amIndex.derived.Inc()
 			a.idx = core.IndexOf(p)
 			c.st.PutIndex(fp, fp2, a.idx)
 			return
 		}
+		amIndex.derived.Inc()
 		a.idx = core.IndexOf(p)
 	})
 	return a.idx
@@ -322,6 +331,7 @@ func (c *Checker) Index(p *fsp.FSP) *lts.Index {
 // epsilon action is recovered from the stored form's own alphabet.
 func (c *Checker) Saturated(p *fsp.FSP) (*fsp.FSP, fsp.Action, error) {
 	a := c.art(p)
+	amSat.req.Inc()
 	a.satOnce.Do(func() {
 		defer derivationGuard(&a.satErr)
 		if c.st != nil {
@@ -329,17 +339,20 @@ func (c *Checker) Saturated(p *fsp.FSP) (*fsp.FSP, fsp.Action, error) {
 			if sat, ok := c.st.GetFSP(fp, fp2, store.KindSaturated); ok {
 				if eps, ok := sat.Alphabet().Lookup(fsp.EpsilonName); ok {
 					a.sat, a.satEps = sat, eps
+					amSat.storeHit.Inc()
 					return
 				}
 				// A saturated form without epsilon is not one; fall
 				// through and rebuild (the entry ages out via the LRU).
 			}
+			amSat.derived.Inc()
 			a.sat, a.satEps, a.satErr = fsp.SaturateWith(p, c.Closure(p))
 			if a.satErr == nil {
 				c.st.PutFSP(fp, fp2, store.KindSaturated, a.sat)
 			}
 			return
 		}
+		amSat.derived.Inc()
 		a.sat, a.satEps, a.satErr = fsp.SaturateWith(p, c.Closure(p))
 	})
 	return a.sat, a.satEps, a.satErr
@@ -347,27 +360,31 @@ func (c *Checker) Saturated(p *fsp.FSP) (*fsp.FSP, fsp.Action, error) {
 
 // quotient is the common store-tier shape of the three quotient accessors:
 // consult the store under kind, else derive and spill.
-func (c *Checker) quotient(a *artifacts, kind store.Kind, derive func() (*fsp.FSP, error)) (*fsp.FSP, error) {
+func (c *Checker) quotient(a *artifacts, kind store.Kind, am artMetrics, derive func() (*fsp.FSP, error)) (*fsp.FSP, error) {
 	if c.st != nil {
 		fp, fp2 := c.keys(a)
 		if min, ok := c.st.GetFSP(fp, fp2, kind); ok {
+			am.storeHit.Inc()
 			return min, nil
 		}
+		am.derived.Inc()
 		min, err := derive()
 		if err == nil {
 			c.st.PutFSP(fp, fp2, kind, min)
 		}
 		return min, err
 	}
+	am.derived.Inc()
 	return derive()
 }
 
 // StrongQuotient returns the memoized canonical quotient of p modulo ~.
 func (c *Checker) StrongQuotient(p *fsp.FSP) (*fsp.FSP, error) {
 	a := c.art(p)
+	amStrong.req.Inc()
 	a.strongOnce.Do(func() {
 		defer derivationGuard(&a.strongErr)
-		a.strongMin, a.strongErr = c.quotient(a, store.KindStrongMin, func() (*fsp.FSP, error) {
+		a.strongMin, a.strongErr = c.quotient(a, store.KindStrongMin, amStrong, func() (*fsp.FSP, error) {
 			min, _, err := core.QuotientStrong(p, c.opts...)
 			return min, err
 		})
@@ -378,9 +395,10 @@ func (c *Checker) StrongQuotient(p *fsp.FSP) (*fsp.FSP, error) {
 // WeakQuotient returns the memoized canonical quotient of p modulo ≈.
 func (c *Checker) WeakQuotient(p *fsp.FSP) (*fsp.FSP, error) {
 	a := c.art(p)
+	amWeak.req.Inc()
 	a.weakOnce.Do(func() {
 		defer derivationGuard(&a.weakErr)
-		a.weakMin, a.weakErr = c.quotient(a, store.KindWeakMin, func() (*fsp.FSP, error) {
+		a.weakMin, a.weakErr = c.quotient(a, store.KindWeakMin, amWeak, func() (*fsp.FSP, error) {
 			min, _, err := core.QuotientWeak(p, c.opts...)
 			return min, err
 		})
@@ -397,9 +415,10 @@ func (c *Checker) WeakQuotient(p *fsp.FSP) (*fsp.FSP, error) {
 // decode as cold misses.
 func (c *Checker) CongruenceQuotient(p *fsp.FSP) (*fsp.FSP, error) {
 	a := c.art(p)
+	amCong.req.Inc()
 	a.congOnce.Do(func() {
 		defer derivationGuard(&a.congErr)
-		a.congMin, a.congErr = c.quotient(a, store.KindCongMin, func() (*fsp.FSP, error) {
+		a.congMin, a.congErr = c.quotient(a, store.KindCongMin, amCong, func() (*fsp.FSP, error) {
 			min, _, err := core.QuotientCongruence(p, c.opts...)
 			return min, err
 		})
@@ -454,16 +473,36 @@ func (c *Checker) check(ctx context.Context, q Query) (bool, error) {
 			return false, fmt.Errorf("engine: unknown relation %d", q.Rel)
 		}
 	}
+	// Phase spans are flat and sequential — quotient, then (for the weak
+	// family) saturate, then solve — so a traced query's span durations
+	// sum to roughly its wall time. Between phases the context is polled
+	// again: one phase can be a full partition solve, and PR 6 noted that
+	// the MTC paths used to poll only at entry.
+	tr := obs.TraceFrom(ctx)
+	poll := func() error { return ctx.Err() }
 	switch q.Rel {
 	case Strong:
+		sp := tr.Start("quotient")
 		minP, minQ, err := c.strongPair(q)
+		sp.End(obs.A("kind", "strong"))
 		if err != nil {
 			return false, err
 		}
-		return core.StrongEquivalentIndexed(minP, minQ, c.Index(minP), c.Index(minQ), c.opts...)
+		if err := poll(); err != nil {
+			return false, err
+		}
+		sp = tr.Start("solve")
+		eq, err := core.StrongEquivalentIndexed(minP, minQ, c.Index(minP), c.Index(minQ), c.opts...)
+		sp.End(obs.A("relation", "strong"))
+		return eq, err
 	case Weak:
+		sp := tr.Start("quotient")
 		minP, minQ, err := c.weakPair(q)
+		sp.End(obs.A("kind", "weak"))
 		if err != nil {
+			return false, err
+		}
+		if err := poll(); err != nil {
 			return false, err
 		}
 		// Saturation distributes over disjoint union (the tau-closure of a
@@ -471,68 +510,125 @@ func (c *Checker) check(ctx context.Context, q Query) (bool, error) {
 		// strong equivalence of the cached saturated quotients — no
 		// per-pair saturation at all, just one partition solve on the
 		// union of the cached P-hat indexes.
+		sp = tr.Start("saturate")
 		satP, _, err := c.Saturated(minP)
 		if err != nil {
+			sp.End()
 			return false, err
 		}
 		satQ, _, err := c.Saturated(minQ)
+		sp.End()
 		if err != nil {
 			return false, err
 		}
-		return core.StrongEquivalentIndexed(satP, satQ, c.Index(satP), c.Index(satQ), c.opts...)
+		if err := poll(); err != nil {
+			return false, err
+		}
+		sp = tr.Start("solve")
+		eq, err := core.StrongEquivalentIndexed(satP, satQ, c.Index(satP), c.Index(satQ), c.opts...)
+		sp.End(obs.A("relation", "weak"))
+		return eq, err
 	case Trace:
+		sp := tr.Start("quotient")
 		minP, minQ, err := c.weakPair(q)
+		sp.End(obs.A("kind", "weak"))
 		if err != nil {
 			return false, err
 		}
-		return kequiv.Equivalent(minP, minQ, 1)
+		if err := poll(); err != nil {
+			return false, err
+		}
+		sp = tr.Start("solve")
+		eq, err := kequiv.Equivalent(minP, minQ, 1)
+		sp.End(obs.A("relation", "trace"))
+		return eq, err
 	case K:
+		sp := tr.Start("quotient")
 		minP, minQ, err := c.weakPair(q)
+		sp.End(obs.A("kind", "weak"))
 		if err != nil {
 			return false, err
 		}
-		return kequiv.Equivalent(minP, minQ, q.K)
+		if err := poll(); err != nil {
+			return false, err
+		}
+		sp = tr.Start("solve")
+		eq, err := kequiv.Equivalent(minP, minQ, q.K)
+		sp.End(obs.A("relation", "k"))
+		return eq, err
 	case Limited:
 		// ≈ refines ≃_k for every k (Proposition 2.2.1c), so the cached
 		// ≈-quotients decide ≃_k by transitivity, like Trace and K. The
 		// ladder runs on the union of the cached saturated-quotient
 		// indexes (saturation distributes over disjoint union).
+		sp := tr.Start("quotient")
 		minP, minQ, err := c.weakPair(q)
+		sp.End(obs.A("kind", "weak"))
 		if err != nil {
 			return false, err
 		}
+		if err := poll(); err != nil {
+			return false, err
+		}
+		sp = tr.Start("saturate")
 		satP, _, err := c.Saturated(minP)
 		if err != nil {
+			sp.End()
 			return false, err
 		}
 		satQ, _, err := c.Saturated(minQ)
+		sp.End()
 		if err != nil {
 			return false, err
 		}
-		return core.LimitedEquivalentSaturated(satP, satQ, c.Index(satP), c.Index(satQ), q.K)
+		if err := poll(); err != nil {
+			return false, err
+		}
+		sp = tr.Start("solve")
+		eq, err := core.LimitedEquivalentSaturated(satP, satQ, c.Index(satP), c.Index(satQ), q.K)
+		sp.End(obs.A("relation", "limited"))
+		return eq, err
 	case Failure:
 		// Deliberately uncached: failures.Equivalent validates that both
 		// inputs are restricted, and quotienting can erase the evidence
 		// (a tau self-loop vanishes inside its class), so the check must
 		// see the originals to keep the one-shot error contract.
+		sp := tr.Start("solve")
 		eq, _, err := failures.Equivalent(q.P, q.Q)
+		sp.End(obs.A("relation", "failure"))
 		return eq, err
 	case Congruence:
 		// The root condition inspects initial tau moves, which the weak
 		// quotient may erase — but the strong quotient preserves them:
 		// ~ is contained in ≈ᶜ, so p ≈ᶜ min~(p) and transitivity gives
 		// the reduction.
+		sp := tr.Start("quotient")
 		minP, minQ, err := c.strongPair(q)
+		sp.End(obs.A("kind", "strong"))
 		if err != nil {
 			return false, err
 		}
-		return core.ObservationCongruent(minP, minQ, c.opts...)
+		if err := poll(); err != nil {
+			return false, err
+		}
+		sp = tr.Start("solve")
+		eq, err := core.ObservationCongruent(minP, minQ, c.opts...)
+		sp.End(obs.A("relation", "congruence"))
+		return eq, err
 	case Simulation:
+		sp := tr.Start("quotient")
 		minP, minQ, err := c.strongPair(q)
+		sp.End(obs.A("kind", "strong"))
 		if err != nil {
 			return false, err
 		}
-		return simulation.Equivalent(minP, minQ)
+		if err := poll(); err != nil {
+			return false, err
+		}
+		sp = tr.Start("solve")
+		eq, err := simulation.Equivalent(minP, minQ)
+		sp.End(obs.A("relation", "simulation"))
+		return eq, err
 	default:
 		return false, fmt.Errorf("engine: unknown relation %d", q.Rel)
 	}

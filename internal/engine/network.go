@@ -8,6 +8,7 @@ import (
 
 	"ccs/internal/compose"
 	"ccs/internal/fsp"
+	"ccs/internal/obs"
 	"ccs/internal/otf"
 	"ccs/internal/vet"
 )
@@ -45,8 +46,11 @@ func (c *Checker) componentQuotient(p *fsp.FSP, rel Relation) (*fsp.FSP, error) 
 // MinimizeNetwork returns a copy of net in which every component process
 // is replaced by its cached quotient, sound for deciding rel on the
 // composed system (see the file comment). Relabelings and the hidden set
-// are preserved; the input network is not modified.
-func (c *Checker) MinimizeNetwork(net *compose.Network, rel Relation) (*compose.Network, error) {
+// are preserved; the input network is not modified. ctx is polled before
+// each component quotient — one quotient can be a full Paige-Tarjan run,
+// so a cancelled query stops between components rather than minimizing
+// the whole network first.
+func (c *Checker) MinimizeNetwork(ctx context.Context, net *compose.Network, rel Relation) (*compose.Network, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
@@ -56,6 +60,9 @@ func (c *Checker) MinimizeNetwork(net *compose.Network, rel Relation) (*compose.
 		Hidden:     append([]string(nil), net.Hidden...),
 	}
 	for i, comp := range net.Components {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		min, err := c.componentQuotient(comp.P, rel)
 		if err != nil {
 			return nil, fmt.Errorf("engine: minimizing component %d: %w", i, err)
@@ -68,13 +75,14 @@ func (c *Checker) MinimizeNetwork(net *compose.Network, rel Relation) (*compose.
 // ComposeNetwork materializes net by minimize-then-compose: each component
 // is quotiented through the artifact cache and the product of the minima
 // is returned. For rel-agnostic callers, Congruence is the safe default
-// for every weak-family relation.
-func (c *Checker) ComposeNetwork(net *compose.Network, rel Relation) (*fsp.FSP, error) {
-	min, err := c.MinimizeNetwork(net, rel)
+// for every weak-family relation. Both the quotients and the product walk
+// itself poll ctx.
+func (c *Checker) ComposeNetwork(ctx context.Context, net *compose.Network, rel Relation) (*fsp.FSP, error) {
+	min, err := c.MinimizeNetwork(ctx, net, rel)
 	if err != nil {
 		return nil, err
 	}
-	return min.FSP()
+	return min.FSPCtx(ctx)
 }
 
 // CheckNetwork decides whether the composed network is related to spec by
@@ -92,10 +100,13 @@ func (c *Checker) CheckNetwork(ctx context.Context, net *compose.Network, spec *
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
-	composed, err := c.ComposeNetwork(net, rel)
+	sp := obs.TraceFrom(ctx).Start("compose")
+	composed, err := c.ComposeNetwork(ctx, net, rel)
 	if err != nil {
+		sp.End(obs.A("route", "mtc"))
 		return false, err
 	}
+	sp.End(obs.A("route", "mtc"), obs.AInt("product-states", int64(composed.NumStates())))
 	return c.Check(ctx, Query{P: composed, Q: spec, Rel: rel, K: k})
 }
 
@@ -221,15 +232,30 @@ func (c *Checker) CheckNetworkOTFInfo(ctx context.Context, net *compose.Network,
 	case !covered:
 		info.Fallback = fmt.Sprintf("relation %s not covered by the on-the-fly game", rel)
 	default:
+		tr := obs.TraceFrom(ctx)
+		sp := tr.Start("quotient")
 		minSpec, err := c.componentQuotient(spec, rel)
 		if err != nil {
+			sp.End()
 			return false, info, err
 		}
-		minNet, err := c.MinimizeNetwork(net, rel)
+		minNet, err := c.MinimizeNetwork(ctx, net, rel)
+		sp.End(obs.AInt("components", int64(len(net.Components))))
 		if err != nil {
 			return false, info, err
 		}
+		sp = tr.Start("otf-explore")
 		res, err := otf.Check(ctx, minNet, minSpec, orel, otf.Options{})
+		if res != nil {
+			sp.End(
+				obs.AInt("pairs", int64(res.Pairs)),
+				obs.AInt("explored", int64(res.Explored)),
+				obs.AInt("steals", int64(res.Steals)),
+				obs.A("determinized", fmt.Sprintf("%t", res.Determinized)),
+			)
+		} else {
+			sp.End(obs.A("outcome", "fallback"))
+		}
 		var undecided *otf.UndecidedError
 		var ineligible *otf.IneligibleError
 		switch {

@@ -101,7 +101,7 @@ func TestCheckNetworkErrors(t *testing.T) {
 func TestMinimizeNetworkPreservesShape(t *testing.T) {
 	c := New()
 	net := gen.RelayNetwork(3, 2)
-	min, err := c.MinimizeNetwork(net, Weak)
+	min, err := c.MinimizeNetwork(context.Background(), net, Weak)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestMinimizeNetworkPreservesShape(t *testing.T) {
 		}
 	}
 	// Strong relations use the finer ~-quotient.
-	minStrong, err := c.MinimizeNetwork(net, Strong)
+	minStrong, err := c.MinimizeNetwork(context.Background(), net, Strong)
 	if err != nil {
 		t.Fatal(err)
 	}

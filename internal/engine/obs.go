@@ -1,0 +1,33 @@
+package engine
+
+import "ccs/internal/obs"
+
+// Per-kind artifact cache telemetry on the default registry. A request
+// is one accessor call; a derivation means both the in-memory tier and
+// the persistent store missed; a store hit means the persistent tier
+// saved the derivation. Hit rate per kind is
+// (requests - derived) / requests, with store_hits splitting out how
+// much of that the persistent tier contributed.
+type artMetrics struct {
+	req      *obs.Counter
+	derived  *obs.Counter
+	storeHit *obs.Counter
+}
+
+func newArtMetrics(kind string) artMetrics {
+	r := obs.Default()
+	return artMetrics{
+		req:      r.CounterVec("ccs_engine_artifact_requests_total", "Artifact accessor calls, by kind.", "kind").With(kind),
+		derived:  r.CounterVec("ccs_engine_artifacts_derived_total", "Artifacts computed fresh (every cache tier missed), by kind.", "kind").With(kind),
+		storeHit: r.CounterVec("ccs_engine_artifact_store_hits_total", "Artifact derivations avoided by a persistent-store hit, by kind.", "kind").With(kind),
+	}
+}
+
+var (
+	amClosure = newArtMetrics("closure")
+	amIndex   = newArtMetrics("index")
+	amSat     = newArtMetrics("saturated")
+	amStrong  = newArtMetrics("strong")
+	amWeak    = newArtMetrics("weak")
+	amCong    = newArtMetrics("cong")
+)

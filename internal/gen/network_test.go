@@ -45,7 +45,7 @@ func TestRelayCollapse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	min, err := engine.New().ComposeNetwork(net, engine.Weak)
+	min, err := engine.New().ComposeNetwork(context.Background(), net, engine.Weak)
 	if err != nil {
 		t.Fatal(err)
 	}

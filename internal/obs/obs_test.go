@@ -1,0 +1,277 @@
+package obs_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ccs/internal/obs"
+)
+
+// TestCounterGetOrCreate: asking twice for a name returns the same
+// handle, and concurrent increments from many goroutines all land.
+func TestCounterGetOrCreate(t *testing.T) {
+	r := obs.NewRegistry()
+	c1 := r.Counter("test_total", "help")
+	c2 := r.Counter("test_total", "other help ignored")
+	if c1 != c2 {
+		t.Fatalf("get-or-create returned distinct handles")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c1.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c1.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+// TestTypeConflictPanics: re-registering a name as a different type is a
+// programming error and must panic loudly, not silently alias.
+func TestTypeConflictPanics(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("clash_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic on type conflict")
+		}
+	}()
+	r.Gauge("clash_total", "")
+}
+
+// TestVecSeries: label values select distinct series; the same values
+// return the same series.
+func TestVecSeries(t *testing.T) {
+	r := obs.NewRegistry()
+	v := r.CounterVec("req_total", "", "route", "code")
+	a := v.With("/v1/check", "200")
+	b := v.With("/v1/check", "429")
+	if a == b {
+		t.Fatalf("distinct label values aliased")
+	}
+	if v.With("/v1/check", "200") != a {
+		t.Fatalf("same label values returned a fresh series")
+	}
+	a.Add(3)
+	b.Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE req_total counter",
+		`req_total{route="/v1/check",code="200"} 3`,
+		`req_total{route="/v1/check",code="429"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramExposition: cumulative buckets, +Inf, _sum and _count.
+func TestHistogramExposition(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.55",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+// TestGaugeFunc: computed at scrape time, first registration wins.
+func TestGaugeFunc(t *testing.T) {
+	r := obs.NewRegistry()
+	n := 7
+	r.GaugeFunc("live_items", "", func() float64 { return float64(n) })
+	r.GaugeFunc("live_items", "", func() float64 { return -1 })
+	n = 42
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "live_items 42") {
+		t.Fatalf("gauge func not scraped live:\n%s", sb.String())
+	}
+}
+
+// TestLabelEscaping: quotes, backslashes and newlines in label values
+// must not corrupt the exposition.
+func TestLabelEscaping(t *testing.T) {
+	r := obs.NewRegistry()
+	r.CounterVec("esc_total", "", "v").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("bad escaping:\n%s", sb.String())
+	}
+}
+
+// TestNilTrace: every tracer entry point must be a no-op on nil — the
+// disabled path has no conditionals at call sites.
+func TestNilTrace(t *testing.T) {
+	var tr *obs.Trace
+	tr.Start("phase").End(obs.A("k", "v"))
+	if tr.ID() != "" || tr.Spans() != nil {
+		t.Fatalf("nil trace not inert")
+	}
+	if got := obs.TraceFrom(context.Background()); got != nil {
+		t.Fatalf("TraceFrom(background) = %v", got)
+	}
+}
+
+// TestTraceSpans: spans record phase, ordering, attrs, and flow through
+// the context.
+func TestTraceSpans(t *testing.T) {
+	tr := obs.NewTrace("")
+	if tr.ID() == "" {
+		t.Fatalf("empty trace ID")
+	}
+	ctx := obs.WithTrace(context.Background(), tr)
+	got := obs.TraceFrom(ctx)
+	if got != tr {
+		t.Fatalf("TraceFrom did not return the installed trace")
+	}
+	sp := got.Start("parse")
+	time.Sleep(2 * time.Millisecond)
+	sp.End(obs.AInt("pairs", 12))
+	got.Start("solve").End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Phase != "parse" || spans[1].Phase != "solve" {
+		t.Fatalf("phase order: %q, %q", spans[0].Phase, spans[1].Phase)
+	}
+	if spans[0].Duration <= 0 {
+		t.Fatalf("non-positive duration")
+	}
+	if len(spans[0].Attrs) != 1 || spans[0].Attrs[0].Key != "pairs" || spans[0].Attrs[0].Value != "12" {
+		t.Fatalf("attrs = %v", spans[0].Attrs)
+	}
+	if spans[1].Start < spans[0].Start {
+		t.Fatalf("span starts out of order")
+	}
+}
+
+// TestTraceConcurrent: spans appended from many goroutines while another
+// snapshots — exercises the mutex under -race.
+func TestTraceConcurrent(t *testing.T) {
+	tr := obs.NewTrace("fixed-id")
+	if tr.ID() != "fixed-id" {
+		t.Fatalf("ID = %q", tr.ID())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Start("work").End()
+				_ = tr.Spans()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 400 {
+		t.Fatalf("spans = %d, want 400", got)
+	}
+}
+
+// TestTraceIDUnique: concurrent ID draws never collide.
+func TestTraceIDUnique(t *testing.T) {
+	const per = 500
+	var mu sync.Mutex
+	seen := make(map[string]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids := make([]string, per)
+			for i := range ids {
+				ids[i] = obs.NewTraceID()
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range ids {
+				if seen[id] {
+					t.Errorf("duplicate trace ID %s", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 4*per {
+		t.Fatalf("ids = %d, want %d", len(seen), 4*per)
+	}
+}
+
+// TestRequestID round-trips through the context.
+func TestRequestID(t *testing.T) {
+	ctx := obs.WithRequestID(context.Background(), "abc123")
+	if got := obs.RequestIDFrom(ctx); got != "abc123" {
+		t.Fatalf("request ID = %q", got)
+	}
+	if got := obs.RequestIDFrom(context.Background()); got != "" {
+		t.Fatalf("background request ID = %q", got)
+	}
+}
+
+// TestOTFProgressContext: the hook and interval round-trip; the rate
+// helper divides sanely.
+func TestOTFProgressContext(t *testing.T) {
+	if fn, _ := obs.OTFProgressFrom(context.Background()); fn != nil {
+		t.Fatalf("background context has a progress hook")
+	}
+	var got []obs.OTFSnapshot
+	ctx := obs.WithOTFProgress(context.Background(), func(s obs.OTFSnapshot) {
+		got = append(got, s)
+	}, 123*time.Millisecond)
+	fn, every := obs.OTFProgressFrom(ctx)
+	if fn == nil || every != 123*time.Millisecond {
+		t.Fatalf("hook round-trip failed (every=%v)", every)
+	}
+	fn(obs.OTFSnapshot{Explored: 100, Elapsed: 2 * time.Second, Final: true})
+	if len(got) != 1 || !got[0].Final {
+		t.Fatalf("snapshot not delivered: %v", got)
+	}
+	if r := got[0].Rate(); r != 50 {
+		t.Fatalf("rate = %v, want 50", r)
+	}
+	if (obs.OTFSnapshot{}).Rate() != 0 {
+		t.Fatalf("zero-elapsed rate not 0")
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span (route taken, pairs
+// explored, cache tier hit). Values are strings so the tracer stays
+// allocation-simple; use A/AInt to build them.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// A builds a string attribute.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// AInt builds an integer attribute.
+func AInt(key string, v int64) Attr { return Attr{Key: key, Value: fmt.Sprintf("%d", v)} }
+
+// Span is one completed phase of a query: its name, when it started
+// (offset from the trace's birth) and how long it ran. Spans are flat
+// and sequential by design — a phase never wraps code that records its
+// own spans — so the durations of a trace's spans sum to roughly the
+// query's wall time.
+type Span struct {
+	Phase    string
+	Start    time.Duration
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// Trace collects the phase spans of one query under a single trace ID.
+// All methods are safe on a nil receiver (the disabled path) and safe
+// for concurrent use — an abandoned query goroutine may still be
+// appending spans while the timeout path snapshots the trace.
+type Trace struct {
+	id    string
+	birth time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// traceEver flips to true on the first NewTrace in the process. TraceFrom
+// checks it before touching the context, so a process that never traces
+// pays one atomic load per candidate phase and no context-chain walk.
+var traceEver atomic.Bool
+
+// NewTrace starts a trace. An empty id draws a fresh one.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	traceEver.Store(true)
+	return &Trace{id: id, birth: time.Now()}
+}
+
+// ID returns the trace ID ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// ActiveSpan is a phase in flight; End completes it. Nil-safe.
+type ActiveSpan struct {
+	t     *Trace
+	phase string
+	t0    time.Time
+}
+
+// Start opens a phase span. On a nil trace it returns a nil span whose
+// End is a no-op, so call sites need no conditionals.
+func (t *Trace) Start(phase string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{t: t, phase: phase, t0: time.Now()}
+}
+
+// End completes the span with optional attributes.
+func (sp *ActiveSpan) End(attrs ...Attr) {
+	if sp == nil {
+		return
+	}
+	now := time.Now()
+	s := Span{
+		Phase:    sp.phase,
+		Start:    sp.t0.Sub(sp.t.birth),
+		Duration: now.Sub(sp.t0),
+		Attrs:    attrs,
+	}
+	sp.t.mu.Lock()
+	sp.t.spans = append(sp.t.spans, s)
+	sp.t.mu.Unlock()
+}
+
+// Spans returns a snapshot of the completed spans in completion order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+type traceKey struct{}
+
+// WithTrace attaches t to the context so phases downstream record into it.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil. The common no-trace
+// process never walks the context chain: a single atomic load short-
+// circuits it.
+func TraceFrom(ctx context.Context) *Trace {
+	if !traceEver.Load() {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+type requestIDKey struct{}
+
+// WithRequestID stamps the server-assigned request/trace ID on the
+// context; the facade seeds the query's Trace with it so the ID in the
+// report matches the X-CCS-Trace response header.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the context's request ID, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+var (
+	traceSeq  atomic.Uint64
+	traceSeed = uint64(time.Now().UnixNano())
+)
+
+// NewTraceID returns a 16-hex-digit process-unique ID: a counter mixed
+// through a splitmix64 finalizer, seeded per process. No crypto/rand —
+// these IDs correlate logs, they are not secrets.
+func NewTraceID() string {
+	x := traceSeed + traceSeq.Add(1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return fmt.Sprintf("%016x", x)
+}

@@ -82,6 +82,17 @@ func (d *wsDeque) pop() *batch {
 	return b
 }
 
+// size is the approximate number of buffered batches, for progress
+// snapshots: the racy two-load read can be momentarily off by the
+// in-flight push or steal, which is fine for a gauge.
+func (d *wsDeque) size() int {
+	n := int(d.bottom.Load() - d.top.Load())
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
 // steal removes the oldest batch, or returns nil if the deque looks empty
 // or the CAS races with the owner or another thief (the caller simply
 // tries the next victim).

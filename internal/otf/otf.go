@@ -84,6 +84,7 @@ import (
 
 	"ccs/internal/compose"
 	"ccs/internal/fsp"
+	"ccs/internal/obs"
 )
 
 // Rel selects the equivalence the game decides.
@@ -142,6 +143,16 @@ type Options struct {
 	// Scheduler selects the exploration discipline; the zero value is
 	// WorkStealing.
 	Scheduler Scheduler
+	// Progress, when non-nil, receives periodic exploration snapshots
+	// from a sampler goroutine — pairs interned, pairs explored, steal
+	// count, per-worker deque depths — plus one final snapshot when the
+	// run ends. When nil, the hook is taken from the context
+	// (obs.WithOTFProgress), so callers above the engine can observe a
+	// game without widening any signature. Workers never touch shared
+	// progress state unless a hook is installed.
+	Progress obs.OTFProgressFunc
+	// ProgressInterval is the sampling period; <= 0 means 500ms.
+	ProgressInterval time.Duration
 }
 
 // Counterexample is a distinguishing scenario found by the game.
@@ -378,6 +389,20 @@ func Check(ctx context.Context, net *compose.Network, spec *fsp.FSP, rel Rel, op
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	prog, every := opts.Progress, opts.ProgressInterval
+	if prog == nil {
+		prog, every = obs.OTFProgressFrom(ctx)
+	}
+	if prog != nil {
+		if every <= 0 {
+			every = 500 * time.Millisecond
+		}
+		s.prog = &progressState{
+			fn: prog, every: every, workers: workers, start: time.Now(),
+			exploredBy: make([]progSlot, workers),
+			stolenBy:   make([]progSlot, workers),
+		}
+	}
 	res, err := s.explore(ctx, workers, opts.Scheduler)
 	if err != nil {
 		return nil, err
@@ -531,6 +556,83 @@ type session struct {
 	// canceled is set by the first worker that observes ctx.Err() != nil;
 	// every loop polls it alongside fail.
 	canceled atomic.Bool
+
+	// prog is the optional progress sampler state; nil when no hook is
+	// installed, and every publication site guards on that nil so the
+	// unobserved game pays one predictable branch per batch.
+	prog *progressState
+}
+
+// progressState feeds the sampler goroutine. Each worker publishes its
+// explored and steal counts into its own cache-line-padded slot — an
+// owned plain store, never a contended read-modify-write — and the
+// sampler sums the slots at each tick (the workers' private plain-int
+// counters stay the source of truth for the final Result).
+type progressState struct {
+	fn      obs.OTFProgressFunc
+	every   time.Duration
+	workers int
+	start   time.Time
+
+	exploredBy []progSlot
+	stolenBy   []progSlot
+	deques     atomic.Pointer[[]*wsDeque] // set by exploreSteal; nil under the barrier scheduler
+}
+
+// progSlot pads one published counter to its own cache line so eight
+// workers storing at once never share a line (the E22 overhead gate).
+type progSlot struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+func (p *progressState) sum(slots []progSlot) int64 {
+	var n int64
+	for i := range slots {
+		n += slots[i].v.Load()
+	}
+	return n
+}
+
+// sample runs on its own goroutine: a snapshot per tick, plus the
+// guaranteed final snapshot when stop closes.
+func (s *session) sampleProgress(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.prog.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			s.prog.fn(s.snapshot(true))
+			return
+		case <-t.C:
+			s.prog.fn(s.snapshot(false))
+		}
+	}
+}
+
+func (s *session) snapshot(final bool) obs.OTFSnapshot {
+	p := s.prog
+	snap := obs.OTFSnapshot{
+		Elapsed:       time.Since(p.start),
+		Workers:       p.workers,
+		Pairs:         s.pairs.Load(),
+		Explored:      p.sum(p.exploredBy),
+		Steals:        p.sum(p.stolenBy),
+		ActiveBatches: s.active.Load(),
+		Final:         final,
+	}
+	if dq := p.deques.Load(); dq != nil {
+		depths := make([]int, len(*dq))
+		for i, d := range *dq {
+			depths[i] = d.size()
+		}
+		snap.DequeDepths = depths
+	}
+	if d, ok := s.spec.(*detSpec); ok {
+		snap.SpecSubsets = d.numSubsets()
+	}
+	return snap
 }
 
 func newSession(e *compose.Expansion, spec *fsp.FSP, rel Rel, determinize bool) (*session, error) {
@@ -712,6 +814,12 @@ type worker struct {
 	explored int
 	steals   int
 	maxWalk  int
+
+	// pubExplored/pubSteals point at this worker's padded progress slots
+	// (nil when no hook is installed): publication is an owned store, so
+	// the observed hot loop never touches a shared cache line.
+	pubExplored *atomic.Int64
+	pubSteals   *atomic.Int64
 }
 
 func (s *session) newWorker(id int) *worker {
@@ -759,6 +867,19 @@ func (s *session) explore(ctx context.Context, workers int, sched Scheduler) (*R
 	pool := make([]*worker, workers)
 	for i := range pool {
 		pool[i] = s.newWorker(i)
+		if s.prog != nil {
+			pool[i].pubExplored = &s.prog.exploredBy[i].v
+			pool[i].pubSteals = &s.prog.stolenBy[i].v
+		}
+	}
+
+	if s.prog != nil {
+		stop, done := make(chan struct{}), make(chan struct{})
+		go s.sampleProgress(stop, done)
+		// The final snapshot is delivered before explore returns, so a
+		// caller's hook has seen the end of the run by the time it gets
+		// the Result.
+		defer func() { close(stop); <-done }()
 	}
 
 	if sched == LevelBarrier {
@@ -809,6 +930,9 @@ func (s *session) exploreSteal(ctx context.Context, pool []*worker, root pairRec
 	deques := make([]*wsDeque, len(pool))
 	for i := range deques {
 		deques[i] = newWSDeque()
+	}
+	if s.prog != nil {
+		s.prog.deques.Store(&deques)
 	}
 	s.active.Store(1)
 	deques[0].push(&batch{recs: []pairRec{root}})
@@ -873,6 +997,9 @@ func (w *worker) stealBatch(deques []*wsDeque, self int) *batch {
 		}
 		if b := deques[v].steal(); b != nil {
 			w.steals++
+			if w.pubSteals != nil {
+				w.pubSteals.Store(int64(w.steals))
+			}
 			return b
 		}
 	}
@@ -885,11 +1012,13 @@ func (w *worker) stealBatch(deques []*wsDeque, self int) *batch {
 // a zero counter mean global termination.
 func (w *worker) runBatch(ctx context.Context, my *wsDeque, b *batch) {
 	s := w.s
+	done := 0
 	for _, rec := range b.recs {
 		if s.fail.Load() != nil || s.canceled.Load() {
 			break
 		}
 		w.explored++
+		done++
 		if w.explored%pollEvery == 0 && ctx.Err() != nil {
 			s.canceled.Store(true)
 			break
@@ -903,6 +1032,12 @@ func (w *worker) runBatch(ctx context.Context, my *wsDeque, b *batch) {
 			s.active.Add(1)
 			my.push(&batch{recs: children})
 		}
+	}
+	// Progress is published per batch, not per pair, and into the
+	// worker's own padded slot — a plain store, so the observed game's
+	// hot loop stays free of shared-line traffic.
+	if w.pubExplored != nil && done > 0 {
+		w.pubExplored.Store(int64(w.explored))
 	}
 	s.active.Add(-1)
 }
@@ -936,6 +1071,9 @@ func (s *session) exploreBarrier(ctx context.Context, pool []*worker, root pairR
 					}
 					for _, rec := range frontier[lo:hi] {
 						w.explored++
+						if w.pubExplored != nil {
+							w.pubExplored.Store(int64(w.explored))
+						}
 						if w.explored%pollEvery == 0 && ctx.Err() != nil {
 							s.canceled.Store(true)
 							return

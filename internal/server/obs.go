@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ccs/internal/obs"
+)
+
+// This file is the server's observability middleware: every request gets
+// a trace ID (echoed in the X-CCS-Trace response header and stamped on
+// the context, so a traced query's Report.Trace.ID matches), a per-route
+// latency observation, and — when Config.AccessLog is set — one JSON
+// access-log line.
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// routeLabel folds a request path onto the bounded route set the metrics
+// use as a label — never the raw path, which is client-controlled and
+// would let a scanner mint unbounded series.
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz", "/metrics", "/v1/check", "/v1/network", "/v1/batch", "/v1/vet", "/v1/stats":
+		return path
+	}
+	if strings.HasPrefix(path, "/debug/pprof/") {
+		return "pprof"
+	}
+	return "other"
+}
+
+// statusWriter records the status code written downstream.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// accessLine is the access log's wire form, one JSON object per line.
+type accessLine struct {
+	Time       string  `json:"time"`
+	Trace      string  `json:"trace"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Route      string  `json:"route"`
+	Status     int     `json:"status"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// instrument wraps the route table with tracing, metrics and logging.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := obs.NewTraceID()
+		w.Header().Set("X-CCS-Trace", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(obs.WithRequestID(r.Context(), id)))
+
+		dur := time.Since(start)
+		route := routeLabel(r.URL.Path)
+		s.httpSeconds.With(route).Observe(dur.Seconds())
+		s.httpRequests.With(route, strconv.Itoa(sw.status)).Inc()
+
+		if s.cfg.AccessLog != nil {
+			line, err := json.Marshal(accessLine{
+				Time:       start.UTC().Format(time.RFC3339Nano),
+				Trace:      id,
+				Method:     r.Method,
+				Path:       r.URL.Path,
+				Route:      route,
+				Status:     sw.status,
+				DurationMS: float64(dur) / float64(time.Millisecond),
+			})
+			if err == nil {
+				s.logMu.Lock()
+				s.cfg.AccessLog.Write(append(line, '\n'))
+				s.logMu.Unlock()
+			}
+		}
+	})
+}

@@ -37,11 +37,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"ccs"
+	"ccs/internal/obs"
 )
 
 // Config configures a Server. The zero value of every field but Checker
@@ -60,6 +63,22 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxBodyBytes caps request body size. <= 0 selects 16 MiB.
 	MaxBodyBytes int64
+	// Version is the serving binary's build version, surfaced in
+	// /healthz, /v1/stats and the ccs_build_info metric. Empty means
+	// "dev".
+	Version string
+	// EnablePprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/. Off by default: profiles expose internals, so the
+	// operator opts in (the CLI's -pprof flag).
+	EnablePprof bool
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (time, trace ID, method, path, route, status, duration).
+	// Writes are serialized; any io.Writer works.
+	AccessLog io.Writer
+	// Registry is the metrics registry /metrics exposes; nil selects the
+	// process-wide default, which is where the facade, engine and store
+	// already report.
+	Registry *obs.Registry
 }
 
 // Server is the HTTP face of a ccs.Checker. Construct with New; serve its
@@ -70,6 +89,12 @@ type Server struct {
 	queries  atomic.Int64
 	failed   atomic.Int64
 	rejected atomic.Int64
+
+	reg          *obs.Registry
+	httpSeconds  *obs.HistogramVec
+	httpRequests *obs.CounterVec
+	httpRejected *obs.Counter
+	logMu        sync.Mutex
 }
 
 // New validates the config and returns a Server.
@@ -83,22 +108,56 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 16 << 20
 	}
-	return &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}, nil
+	if cfg.Version == "" {
+		cfg.Version = "dev"
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight), reg: cfg.Registry}
+	s.httpSeconds = s.reg.HistogramVec("ccs_http_request_seconds",
+		"Wall time per HTTP request, by route.", obs.DefBuckets(), "route")
+	s.httpRequests = s.reg.CounterVec("ccs_http_requests_total",
+		"HTTP requests served, by route and status code.", "route", "code")
+	s.httpRejected = s.reg.Counter("ccs_http_rejected_total",
+		"Requests turned away by admission control (429).")
+	s.reg.GaugeVec("ccs_build_info",
+		"Build metadata; the value is always 1, the version rides in the label.",
+		"version").With(cfg.Version).Set(1)
+	// GaugeFunc registration is first-wins on a shared registry: the
+	// first server's checker feeds the gauge (one checker per process is
+	// the intended shape; tests spinning up several keep the first).
+	s.reg.GaugeFunc("ccs_checker_processes",
+		"Structurally distinct processes the checker's artifact cache has seen.",
+		func() float64 { return float64(cfg.Checker.Stats().Processes) })
+	s.reg.GaugeFunc("ccs_http_in_flight",
+		"Requests currently being answered.",
+		func() float64 { return float64(len(s.sem)) })
+	return s, nil
 }
 
-// Handler returns the route table.
+// Handler returns the route table, wrapped in the tracing/metrics/access-
+// log middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
+		fmt.Fprintf(w, "ok %s\n", s.cfg.Version)
 	})
 	mux.HandleFunc("POST /v1/check", s.handleSingle(false))
 	mux.HandleFunc("POST /v1/network", s.handleSingle(true))
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/vet", s.handleVet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux)
 }
 
 // admit reserves an admission slot, answering 429 when the server is at
@@ -109,6 +168,7 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 		return func() { <-s.sem }, true
 	default:
 		s.rejected.Add(1)
+		s.httpRejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, map[string]string{
 			"error": fmt.Sprintf("server at capacity (%d in flight)", s.cfg.MaxInFlight),
@@ -257,6 +317,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Stats() ccs.ServerStats {
 	return ccs.ServerStats{
 		Schema:      ccs.SchemaVersion,
+		Version:     s.cfg.Version,
 		Queries:     s.queries.Load(),
 		Failed:      s.failed.Load(),
 		Rejected:    s.rejected.Load(),

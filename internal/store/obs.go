@@ -1,0 +1,16 @@
+package store
+
+import "ccs/internal/obs"
+
+// Process-global mirrors of the per-store counters, published on the
+// default registry so /metrics and the CI smoke can watch the persistent
+// tier without holding a *Store. Every store in the process adds into
+// the same series; per-store breakdown stays on Stats().
+var (
+	mHits        = obs.Default().Counter("ccs_store_hits_total", "Validated reads served by the persistent artifact store.")
+	mMisses      = obs.Default().Counter("ccs_store_misses_total", "Persistent store lookups that found no usable entry.")
+	mCorrupt     = obs.Default().Counter("ccs_store_corrupt_total", "Store entries discarded for failing checksum or decode.")
+	mWrites      = obs.Default().Counter("ccs_store_writes_total", "Artifacts persisted to the store.")
+	mWriteErrors = obs.Default().Counter("ccs_store_write_errors_total", "Failed attempts to persist an artifact.")
+	mEvictions   = obs.Default().Counter("ccs_store_evictions_total", "Entries evicted to keep the store under its byte cap.")
+)

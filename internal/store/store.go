@@ -273,6 +273,7 @@ func (s *Store) get(fp, verify uint64, kind Kind) ([]byte, bool) {
 	e := s.entries[name]
 	if e == nil {
 		s.misses++
+		mMisses.Inc()
 		s.mu.Unlock()
 		return nil, false
 	}
@@ -297,6 +298,7 @@ func (s *Store) get(fp, verify uint64, kind Kind) ([]byte, bool) {
 // payload that parses as bytes but decodes to garbage is a miss, not a
 // hit-then-miss.
 func (s *Store) noteHit() {
+	mHits.Inc()
 	s.mu.Lock()
 	s.hits++
 	s.mu.Unlock()
@@ -311,8 +313,10 @@ func (s *Store) discard(name string, corrupt bool) {
 		s.total -= e.size
 	}
 	s.misses++
+	mMisses.Inc()
 	if corrupt {
 		s.corrupt++
+		mCorrupt.Inc()
 	}
 	s.mu.Unlock()
 	os.Remove(filepath.Join(s.dir, name))
@@ -390,6 +394,7 @@ func (s *Store) put(fp, verify uint64, kind Kind, payload []byte) {
 	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
 		os.Remove(tmp.Name())
 		s.writeErrors++
+		mWriteErrors.Inc()
 		return
 	}
 	if e := s.entries[name]; e != nil {
@@ -403,10 +408,12 @@ func (s *Store) put(fp, verify uint64, kind Kind, payload []byte) {
 		s.total += size
 	}
 	s.writes++
+	mWrites.Inc()
 	s.evictLocked()
 }
 
 func (s *Store) noteWriteError() {
+	mWriteErrors.Inc()
 	s.mu.Lock()
 	s.writeErrors++
 	s.mu.Unlock()
@@ -424,6 +431,7 @@ func (s *Store) evictLocked() {
 		delete(s.entries, e.name)
 		s.total -= e.size
 		s.evictions++
+		mEvictions.Inc()
 		os.Remove(filepath.Join(s.dir, e.name))
 	}
 }

@@ -43,7 +43,7 @@ func MinimizeNetwork(net *Network) (*Process, error) {
 	// Delegate to a single-use engine checker: its artifact cache
 	// quotients each structurally distinct component exactly once, so a
 	// network instantiating one cell many times minimizes it once.
-	return NewChecker().e.ComposeNetwork(net, engine.Congruence)
+	return NewChecker().e.ComposeNetwork(context.Background(), net, engine.Congruence)
 }
 
 // CheckNetwork decides whether the composed network is related to spec by

@@ -1,0 +1,93 @@
+package ccs
+
+import (
+	"context"
+	"time"
+
+	"ccs/internal/obs"
+)
+
+// This file is the facade's observability surface. The metrics registry
+// and the span tracer live in internal/obs; what the public API needs is
+// re-exported here so callers (the CLI's -progress flag, embedders) can
+// hook a running check without importing an internal package.
+
+// OTFProgress is one snapshot of a running on-the-fly network check:
+// cumulative pair counts, per-worker deque depths and steal totals, taken
+// on a timer by the scheduler's sampler. The last snapshot of a run has
+// Final set and exact final counts.
+type OTFProgress = obs.OTFSnapshot
+
+// OTFProgressFunc receives progress snapshots. It is called from the
+// scheduler's sampler goroutine — keep it cheap and do not block.
+type OTFProgressFunc = obs.OTFProgressFunc
+
+// WithOTFProgress installs a progress hook for any on-the-fly network
+// check run under ctx: fn receives an OTFProgress roughly every interval
+// (≤ 0 means the 500ms default) and once more, with Final set, when the
+// exploration ends.
+func WithOTFProgress(ctx context.Context, fn OTFProgressFunc, interval time.Duration) context.Context {
+	return obs.WithOTFProgress(ctx, fn, interval)
+}
+
+// MetricsRegistry returns the process-wide metrics registry the facade,
+// engine and store report into; internal/server exposes it at /metrics.
+func MetricsRegistry() *obs.Registry { return obs.Default() }
+
+// Facade-level query metrics: every Do/DoAll call lands here, labeled by
+// the route actually taken, with the on-the-fly exploration totals
+// accumulated from each report.
+var (
+	mQueries = obs.Default().CounterVec("ccs_queries_total",
+		"Queries answered by the facade, by route actually taken.", "route")
+	mQueryErrors = obs.Default().CounterVec("ccs_query_errors_total",
+		"Failed queries, by error kind (input, check, timeout, canceled).", "kind")
+	mQuerySeconds = obs.Default().Histogram("ccs_query_seconds",
+		"Wall time per query, all routes.", obs.DefBuckets())
+	mOTFPairs = obs.Default().Counter("ccs_otf_pairs_total",
+		"Product-spec pairs interned across on-the-fly checks.")
+	mOTFExplored = obs.Default().Counter("ccs_otf_explored_total",
+		"Pairs whose local game checks ran across on-the-fly checks.")
+	mOTFSteals = obs.Default().Counter("ccs_otf_steals_total",
+		"Successful batch steals across on-the-fly checks.")
+)
+
+// recordQueryMetrics folds one finished report into the registry; called
+// from do's deferred bookkeeping, after ElapsedMS is final.
+func recordQueryMetrics(rep *Report) {
+	route := rep.Route
+	if route == "" {
+		route = "none" // request rejected before routing
+	}
+	mQueries.With(route).Inc()
+	mQuerySeconds.Observe(rep.ElapsedMS / 1e3)
+	if rep.Error != nil {
+		mQueryErrors.With(rep.Error.Kind).Inc()
+	}
+	if rep.OTF != nil {
+		mOTFPairs.Add(int64(rep.OTF.Pairs))
+		mOTFExplored.Add(int64(rep.OTF.Explored))
+		mOTFSteals.Add(int64(rep.OTF.Steals))
+	}
+}
+
+// renderTrace converts the internal trace into the report's wire form.
+func renderTrace(tr *obs.Trace) *TraceReport {
+	spans := tr.Spans()
+	out := &TraceReport{ID: tr.ID(), Spans: make([]TraceSpan, 0, len(spans))}
+	for _, sp := range spans {
+		ts := TraceSpan{
+			Phase:      sp.Phase,
+			StartMS:    float64(sp.Start) / float64(time.Millisecond),
+			DurationMS: float64(sp.Duration) / float64(time.Millisecond),
+		}
+		if len(sp.Attrs) > 0 {
+			ts.Attrs = make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				ts.Attrs[a.Key] = a.Value
+			}
+		}
+		out.Spans = append(out.Spans, ts)
+	}
+	return out
+}

@@ -11,6 +11,7 @@ import (
 
 	"ccs/internal/engine"
 	"ccs/internal/fsp"
+	"ccs/internal/obs"
 	"ccs/internal/store"
 )
 
@@ -88,6 +89,12 @@ type CheckRequest struct {
 	// come free from the on-the-fly game and ignore this flag).
 	Explain bool `json:"explain,omitempty"`
 
+	// Trace asks for the query's phase timeline in Report.Trace: one span
+	// per phase (parse, vet, quotient, saturate, solve, compose,
+	// otf-explore) with wall time and key attributes. Tracing costs one
+	// context value and a handful of timestamps per query.
+	Trace bool `json:"trace,omitempty"`
+
 	// Label is echoed into the Report, for correlating batches.
 	Label string `json:"label,omitempty"`
 }
@@ -141,6 +148,9 @@ func WithExplain() CheckOption { return func(r *CheckRequest) { r.Explain = true
 
 // WithLabel tags the request; the label is echoed in its Report.
 func WithLabel(label string) CheckOption { return func(r *CheckRequest) { r.Label = label } }
+
+// WithTrace asks for the query's phase timeline in Report.Trace.
+func WithTrace() CheckOption { return func(r *CheckRequest) { r.Trace = true } }
 
 // NewCheck builds a pair query: are p and q related by relation?
 func NewCheck(relation, p, q string, opts ...CheckOption) CheckRequest {
@@ -216,9 +226,36 @@ type Report struct {
 	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
 	// ElapsedMS is the query's wall time in milliseconds.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Trace is the query's phase timeline when the request asked for one
+	// (CheckRequest.Trace / WithTrace); nil otherwise. On a timed-out
+	// query it holds the phases that completed before abandonment.
+	Trace *TraceReport `json:"trace,omitempty"`
 	// Error reports a failed query; the verdict fields are then
 	// meaningless.
 	Error *ReportError `json:"error,omitempty"`
+}
+
+// TraceReport is a query's phase timeline: an opaque trace ID (echoed by
+// the server in the X-CCS-Trace header and its access log) plus one span
+// per phase in completion order.
+type TraceReport struct {
+	ID    string      `json:"id"`
+	Spans []TraceSpan `json:"spans"`
+}
+
+// TraceSpan is one timed phase of a query. Spans are flat, not nested:
+// each covers a distinct stretch of the query's wall time, so their
+// durations sum to roughly the query's ElapsedMS.
+type TraceSpan struct {
+	// Phase names the work: "parse", "vet", "quotient", "saturate",
+	// "solve", "compose", "otf-explore".
+	Phase string `json:"phase"`
+	// StartMS is the span's start offset from the query's start;
+	// DurationMS its wall time. Both in milliseconds.
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+	// Attrs carries phase-specific details (route, pair counts, …).
+	Attrs map[string]string `json:"attrs,omitempty"`
 }
 
 // OTFStats is the on-the-fly game's exploration record: how much of the
@@ -374,11 +411,27 @@ func classifyErr(ctx context.Context, err error) *ReportError {
 	}
 }
 
-func (c *Checker) do(ctx context.Context, req CheckRequest, cache *loadCache) Report {
-	rep := Report{Label: req.Label, Relation: req.Relation}
+func (c *Checker) do(ctx context.Context, req CheckRequest, cache *loadCache) (rep Report) {
+	rep = Report{Label: req.Label, Relation: req.Relation}
 	start := time.Now()
+
+	// The request's trace (if any) is installed before the deferred
+	// bookkeeping closes over it: on a timeout the worker goroutine is
+	// abandoned mid-phase, and rendering the trace here still captures
+	// every span that completed (Spans is a mutex-guarded snapshot).
+	var tr *obs.Trace
+	if req.Trace {
+		if tr = obs.TraceFrom(ctx); tr == nil {
+			tr = obs.NewTrace(obs.RequestIDFrom(ctx))
+			ctx = obs.WithTrace(ctx, tr)
+		}
+	}
 	defer func() {
 		rep.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+		if tr != nil {
+			rep.Trace = renderTrace(tr)
+		}
+		recordQueryMetrics(&rep)
 	}()
 
 	isNetwork := req.Network != nil
@@ -452,12 +505,15 @@ func (c *Checker) doPair(ctx context.Context, req CheckRequest, rel Relation, k 
 		rep.Error = inputErr("route %q does not apply to a pair query", route)
 		return
 	}
+	sp := obs.TraceFrom(ctx).Start("parse")
 	p, err := cache.resolve(req.P)
 	if err != nil {
+		sp.End()
 		rep.Error = inputErr("process p: %v", err)
 		return
 	}
 	q, err := cache.resolve(req.Q)
+	sp.End(obs.AInt("p-states", int64(p.NumStates())))
 	if err != nil {
 		rep.Error = inputErr("process q: %v", err)
 		return
@@ -504,12 +560,16 @@ func (c *Checker) doNetwork(ctx context.Context, req CheckRequest, rel Relation,
 		rep.Error = inputErr("network request needs a spec")
 		return
 	}
+	tr := obs.TraceFrom(ctx)
+	sp := tr.Start("parse")
 	net, err := nr.build(cache)
 	if err != nil {
+		sp.End()
 		rep.Error = inputErr("%v", err)
 		return
 	}
 	spec, err := cache.resolve(nr.Spec)
+	sp.End(obs.AInt("components", int64(len(net.Components))))
 	if err != nil {
 		rep.Error = inputErr("spec: %v", err)
 		return
@@ -518,9 +578,11 @@ func (c *Checker) doNetwork(ctx context.Context, req CheckRequest, rel Relation,
 	// description, and a defective wiring explains many a surprising
 	// verdict. Findings ride along in the report; they never block the
 	// check (the CLI's -strict-vet enforces them before submitting).
+	sp = tr.Start("vet")
 	if diags, err := VetNetwork(net, spec); err == nil {
 		rep.Diagnostics = diags
 	}
+	sp.End(obs.AInt("diagnostics", int64(len(rep.Diagnostics))))
 	switch route {
 	case RouteAuto, "otf":
 		eq, info, err := c.CheckNetworkOTFInfo(ctx, net, spec, rel, k)

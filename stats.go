@@ -36,6 +36,9 @@ type CheckerStats struct {
 // ServerStats is the body of the server's GET /v1/stats.
 type ServerStats struct {
 	Schema int `json:"schema"`
+	// Version is the serving binary's build version ("dev" when not
+	// stamped at link time).
+	Version string `json:"version,omitempty"`
 	// Queries counts requests answered (across /v1/check, /v1/batch and
 	// /v1/network); Failed is the subset whose report carries an error.
 	Queries int64 `json:"queries"`
