@@ -25,6 +25,7 @@ var vetCatalogue = []string{
 	ccs.CodeTauDivergence,
 	ccs.CodeUnguardedStart,
 	ccs.CodeUndefinedChannel,
+	ccs.CodeUnsatisfiableVector,
 }
 
 // TestVetGalleryText runs the vet subcommand over the whole committed
@@ -76,8 +77,8 @@ func TestVetJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("output does not round-trip: %v\n%s", err, stdout)
 	}
-	if len(reps) != 9 {
-		t.Fatalf("decoded %d reports, want 9 (one per .net)", len(reps))
+	if len(reps) != 10 {
+		t.Fatalf("decoded %d reports, want 10 (one per .net)", len(reps))
 	}
 	counts := map[string]int{}
 	for _, rep := range reps {

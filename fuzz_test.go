@@ -16,6 +16,8 @@ func FuzzDecodeRequests(f *testing.F) {
 		`[{"relation":"weak","p":"expr:a","q":"expr:a","label":"pair"}]`,
 		`{"schema":1,"requests":[{"relation":"strong","p":"expr:a+a","q":"expr:a","k":2,"route":"mtc"}]}`,
 		`{"relation":"weak","network":{"name":"n","components":[{"process":"expr:a","relabel":{"a":"b"}}],"hide":["b"],"spec":"expr:0"}}`,
+		`{"relation":"weak","network":{"name":"q","components":[{"process":"expr:aa","count":3}],"sync":[{"parts":["a","a"],"result":"go"}],"hide":["a"],"spec":"expr:c"}}`,
+		`{"relation":"weak","network":{"components":[{"process":"expr:a","count":-1}],"sync":[{"parts":["x"]}]}}`,
 		`{"schema":99,"requests":[]}`,
 		`{"relatoin":"weak"}`,
 		`weak expr:a expr:a`,
@@ -46,9 +48,13 @@ func FuzzParseNetworkDescription(f *testing.F) {
 		"component procs/a.fsp\ncomponent procs/b.fsp\nhide a\n",
 		"name ring\n# comment\ncomponent cell.fsp in=c0 out=c1\ncomponent cell.fsp in=c1 out=c0\nhide c0 c1\nspec spec.fsp\n",
 		"component expr:a(b+c)\nspec expr:ab+ac\n",
+		"component 3 x cell.fsp in=c0\nsync a a -> go\nhide a\n",
+		"component 2 x p.fsp\ncomponent q.fsp\nsync req yes yes\nspec s.fsp\n",
 		"component\n", "hide a\n", "spec s.fsp\ncomponent p.fsp\n",
 		"name\n", "bogus directive\n", "", "\n\n", "component p.fsp a=\n",
 		"component p.fsp =b\n", "component p.fsp a=b=c\n",
+		"sync a\n", "component p\nsync a b -> \n", "component p\nsync -> r\n",
+		"component 0 x p\n", "component 2 x\n", "component 999999999999999999999 x p\n",
 	} {
 		f.Add(seed)
 	}

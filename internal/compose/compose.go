@@ -20,6 +20,17 @@
 // handshake taus ((P | Q)\L). Extensions of a product state are the union
 // of the component extensions, exactly as in fsp.Compose.
 //
+// On top of the pairwise handshake a Network may carry an explicit
+// synchronization table (Sync) of n-way rendezvous vectors in the style of
+// Arnold–Nivat synchronization algebras / CSP multiway rendezvous: each
+// SyncRule names the actions that distinct components must jointly fire
+// and the single label the joint step produces (tau or a visible action).
+// The table is additive — interleavings and pairwise handshakes are
+// unchanged — and the default (empty) table is exactly CCS, so networks
+// without sync rules behave byte-for-byte as before. Quorum and broadcast
+// steps of distributed protocols, which pairwise handshakes cannot
+// express, become single product transitions.
+//
 // The payoff used by internal/engine is compositionality: observation
 // congruence ≈ᶜ (and ~, and — for the operators used here — even plain ≈)
 // is preserved by composition, restriction and relabeling, so each
@@ -47,13 +58,44 @@ type Component struct {
 	Relabel map[string]string
 }
 
+// SyncRule is one n-way rendezvous vector of a network's synchronization
+// table. Parts are action names in the post-relabeling shared namespace
+// (a part "a'" matches the co-name literally; no co-name transport is
+// applied to parts): the rule fires when len(Parts) *distinct* components
+// simultaneously fire the named actions, one part each, and the joint step
+// carries Result as its single product label. Result "" (or "tau") makes
+// the rendezvous internal, like a handshake; any other name makes it a
+// visible action of the product, subject to restriction — hiding the
+// result prunes the vector entirely, while hiding a part only removes that
+// action's interleavings and leaves the rendezvous intact (exactly the
+// hiding semantics of the pairwise handshake).
+type SyncRule struct {
+	Parts  []string
+	Result string
+}
+
+// Tau reports whether the rule's joint step is internal.
+func (r SyncRule) Tau() bool { return r.Result == "" || r.Result == fsp.TauName }
+
+// String renders the rule as "a + b + c -> res" ("-> tau" for internal).
+func (r SyncRule) String() string {
+	res := r.Result
+	if r.Tau() {
+		res = fsp.TauName
+	}
+	return strings.Join(r.Parts, " + ") + " -> " + res
+}
+
 // Network describes the parallel composition of its components with the
-// channels in Hidden restricted afterwards: (C1[f1] | ... | Ck[fk]) \ Hidden.
+// channels in Hidden restricted afterwards: (C1[f1] | ... | Ck[fk]) \ Hidden,
+// synchronizing pairwise on complementary names and jointly on the sync
+// vectors in Sync (nil Sync is plain CCS).
 // The zero value is unusable; construct with New and extend with Add/Hide.
 type Network struct {
 	Name       string
 	Components []Component
 	Hidden     []string
+	Sync       []SyncRule
 }
 
 // New returns a network named name over the given components (no
@@ -78,6 +120,13 @@ func (n *Network) Add(p *fsp.FSP, relabel map[string]string) *Network {
 // network for chaining. Hiding a name also hides its co-name.
 func (n *Network) Hide(names ...string) *Network {
 	n.Hidden = append(n.Hidden, names...)
+	return n
+}
+
+// AddSync appends a sync vector with the given result label (use "" or
+// "tau" for an internal rendezvous) and returns the network for chaining.
+func (n *Network) AddSync(result string, parts ...string) *Network {
+	n.Sync = append(n.Sync, SyncRule{Parts: parts, Result: result})
 	return n
 }
 
@@ -106,6 +155,22 @@ func (n *Network) Validate() error {
 			return fmt.Errorf("compose: tau cannot be hidden")
 		}
 	}
+	for ri, r := range n.Sync {
+		if len(r.Parts) < 2 {
+			return fmt.Errorf("compose: sync rule %d (%s) has %d part(s); a rendezvous needs at least two", ri, r, len(r.Parts))
+		}
+		for _, p := range r.Parts {
+			if p == "" || p == fsp.TauName {
+				return fmt.Errorf("compose: sync rule %d (%s) uses tau as a part; only observable actions rendezvous", ri, r)
+			}
+			if p == fsp.EpsilonName {
+				return fmt.Errorf("compose: sync rule %d uses %q as a part; the saturation epsilon is not a CCS action", ri, p)
+			}
+		}
+		if r.Result == fsp.EpsilonName {
+			return fmt.Errorf("compose: sync rule %d results in %q; the saturation epsilon is not a CCS action", ri, r.Result)
+		}
+	}
 	return nil
 }
 
@@ -125,6 +190,13 @@ func (n *Network) String() string {
 	s := "(" + strings.Join(parts, "|") + ")"
 	if len(n.Hidden) > 0 {
 		s += "\\{" + strings.Join(n.Hidden, ",") + "}"
+	}
+	if len(n.Sync) > 0 {
+		rules := make([]string, len(n.Sync))
+		for i, r := range n.Sync {
+			rules[i] = r.String()
+		}
+		s += " sync{" + strings.Join(rules, "; ") + "}"
 	}
 	return s
 }
@@ -153,12 +225,22 @@ type Step struct {
 // An Expansion is immutable after construction and safe for concurrent
 // readers.
 type Expansion struct {
-	Labels []string     // dense label names; Labels[0] == "tau"
-	CoOf   []int32      // CoOf[l] = dense id of the co-name of l, or -1
-	Hidden []bool       // Hidden[l]: l's interleavings are restricted
-	Trans  [][][]Step   // Trans[i][s], sorted by (Label, To)
-	Exts   [][][]string // Exts[i][s]: extension variable names
-	Starts []int32
+	Labels  []string     // dense label names; Labels[0] == "tau"
+	CoOf    []int32      // CoOf[l] = dense id of the co-name of l, or -1
+	Hidden  []bool       // Hidden[l]: l's interleavings are restricted
+	Trans   [][][]Step   // Trans[i][s], sorted by (Label, To)
+	Exts    [][][]string // Exts[i][s]: extension variable names
+	Starts  []int32
+	Vectors []SyncVec // translated sync table; vectors with a restricted result are dropped
+}
+
+// SyncVec is a SyncRule translated into the dense label space: Parts is
+// sorted ascending (so equal-label parts are adjacent, which the matching
+// enumeration uses to emit each unordered assignment exactly once) and
+// Result is the joint step's product label, 0 for tau.
+type SyncVec struct {
+	Parts  []int32
+	Result int32
 }
 
 // K returns the number of components.
@@ -237,6 +319,22 @@ func (n *Network) Expand() (*Expansion, error) {
 		}
 	}
 
+	// Translate the sync table before the label-indexed tables are sized:
+	// parts and results are interned whether or not any component carries
+	// them (an unmatchable part simply never fires; internal/vet flags it).
+	for _, r := range n.Sync {
+		parts := make([]int32, len(r.Parts))
+		for j, p := range r.Parts {
+			parts[j] = intern(p)
+		}
+		sort.Slice(parts, func(x, y int) bool { return parts[x] < parts[y] })
+		res := int32(0)
+		if !r.Tau() {
+			res = intern(r.Result)
+		}
+		e.Vectors = append(e.Vectors, SyncVec{Parts: parts, Result: res})
+	}
+
 	e.CoOf = make([]int32, len(e.Labels))
 	e.Hidden = make([]bool, len(e.Labels))
 	for l := 1; l < len(e.Labels); l++ {
@@ -255,6 +353,19 @@ func (n *Network) Expand() (*Expansion, error) {
 			e.Hidden[id] = true
 		}
 	}
+	// Restriction applies to the *result* of a rendezvous: a vector whose
+	// visible result is hidden can never fire and is dropped here, once,
+	// instead of being re-tested in every Succ call. Tau results, like
+	// handshake taus, always survive restriction.
+	if len(e.Vectors) > 0 {
+		kept := e.Vectors[:0]
+		for _, v := range e.Vectors {
+			if v.Result == 0 || !e.Hidden[v.Result] {
+				kept = append(kept, v)
+			}
+		}
+		e.Vectors = kept
+	}
 	return e, nil
 }
 
@@ -269,12 +380,13 @@ func span(ps []Step, l int32) []Step {
 }
 
 // Succ enumerates the product successors of the state vector cur exactly
-// as the CCS semantics dictates: interleavings of unhidden actions (tau
-// always), plus pairwise complementary handshakes as tau. succ must be a
-// scratch slice of length K; emit receives the dense label and the
-// successor vector, which it must copy if retained (the slice is reused).
-// Returning false from emit aborts the enumeration; Succ reports whether
-// it ran to completion.
+// as the network semantics dictates: interleavings of unhidden actions
+// (tau always), pairwise complementary handshakes as tau, and — when the
+// network carries a sync table — every firing of every sync vector. succ
+// must be a scratch slice of length K; emit receives the dense label and
+// the successor vector, which it must copy if retained (the slice is
+// reused). Returning false from emit aborts the enumeration; Succ reports
+// whether it ran to completion.
 func (e *Expansion) Succ(cur, succ []int32, emit func(label int32, succ []int32) bool) bool {
 	k := len(e.Trans)
 	for i := 0; i < k; i++ {
@@ -310,6 +422,67 @@ func (e *Expansion) Succ(cur, succ []int32, emit func(label int32, succ []int32)
 			}
 		}
 	}
+	return e.emitVectors(cur, succ, emit)
+}
+
+// emitVectors enumerates every firing of every sync vector at cur: for
+// each vector, every assignment of its parts to distinct components whose
+// current state enables the part (one arc choice per component), emitted
+// as a single joint step labelled with the vector's result. It is a no-op
+// on the default (empty) table, so plain CCS networks pay nothing — not
+// even the scratch allocation.
+func (e *Expansion) emitVectors(cur, succ []int32, emit func(label int32, succ []int32) bool) bool {
+	if len(e.Vectors) == 0 {
+		return true
+	}
+	// succ doubles as the in-progress joint successor: matchVector writes
+	// the chosen component moves into it and restores cur on backtrack, so
+	// between vectors succ is always a copy of cur.
+	copy(succ, cur)
+	used := make([]bool, len(e.Trans))
+	for _, v := range e.Vectors {
+		if !e.matchVector(v, 0, -1, cur, succ, used, emit) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchVector assigns v.Parts[p:] to distinct components not yet in used,
+// emitting one joint successor per complete assignment. prev is the
+// component that took part p-1: because Parts is sorted, a run of
+// equal-label parts is forced onto strictly increasing component indices,
+// so each unordered choice of components is emitted exactly once (arc
+// multiplicity within one component still multiplies, as it must).
+func (e *Expansion) matchVector(v SyncVec, p int, prev int, cur, succ []int32, used []bool, emit func(label int32, succ []int32) bool) bool {
+	if p == len(v.Parts) {
+		return emit(v.Result, succ)
+	}
+	l := v.Parts[p]
+	lo := 0
+	if p > 0 && v.Parts[p-1] == l {
+		lo = prev + 1
+	}
+	for i := lo; i < len(e.Trans); i++ {
+		if used[i] {
+			continue
+		}
+		arcs := span(e.Trans[i][cur[i]], l)
+		if len(arcs) == 0 {
+			continue
+		}
+		used[i] = true
+		for _, a := range arcs {
+			succ[i] = a.To
+			if !e.matchVector(v, p+1, i, cur, succ, used, emit) {
+				succ[i] = cur[i]
+				used[i] = false
+				return false
+			}
+		}
+		succ[i] = cur[i]
+		used[i] = false
+	}
 	return true
 }
 
@@ -339,8 +512,9 @@ func (b *SuccBatch) Vec(i int) []int32 { return b.Vecs[i*b.K : (i+1)*b.K] }
 
 // AppendSucc appends every product successor of cur to b — the same
 // enumeration as Succ (interleavings of unhidden actions, pairwise
-// handshakes as tau), materialized instead of streamed. The batch's
-// storage is self-contained: cur may be reused immediately.
+// handshakes as tau, sync-vector firings), materialized instead of
+// streamed. The batch's storage is self-contained: cur may be reused
+// immediately.
 func (e *Expansion) AppendSucc(cur []int32, b *SuccBatch) {
 	k := len(e.Trans)
 	b.K = k
@@ -369,6 +543,14 @@ func (e *Expansion) AppendSucc(cur []int32, b *SuccBatch) {
 				}
 			}
 		}
+	}
+	if len(e.Vectors) > 0 {
+		succ := make([]int32, k)
+		e.emitVectors(cur, succ, func(label int32, s []int32) bool {
+			b.Vecs = append(b.Vecs, s...)
+			b.Labels = append(b.Labels, label)
+			return true
+		})
 	}
 }
 

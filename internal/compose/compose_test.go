@@ -417,6 +417,9 @@ func TestAppendSuccMatchesSucc(t *testing.T) {
 	for _, entry := range gen.NetworkGallery() {
 		nets = append(nets, entry.Net)
 	}
+	for _, entry := range gen.ProtocolGallery() {
+		nets = append(nets, entry.Net) // sync-vector networks ride the same differential
+	}
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 10; i++ {
 		nets = append(nets, gen.RandomNetwork(rng))

@@ -30,6 +30,14 @@ import (
 // quotient) and min = min≈ᶜ for everything else. The quotients come from
 // the per-process artifact cache, so a component shared by many networks
 // — or by both sides of a query — is minimized exactly once.
+//
+// Sync vectors preserve the congruence argument: a compose.SyncRule only
+// ever matches observable component actions (Validate rejects tau parts),
+// and component taus interleave freely around a rendezvous exactly as they
+// do around a pairwise handshake. So the standard proof that composition
+// preserves ~ and ≈ᶜ — which needs only that tau never participates in a
+// synchronization — carries over verbatim to the vector operator, and each
+// component may still be quotiented before the product is taken.
 
 // componentQuotient returns the relation-appropriate cached quotient of p.
 func (c *Checker) componentQuotient(p *fsp.FSP, rel Relation) (*fsp.FSP, error) {
@@ -45,8 +53,9 @@ func (c *Checker) componentQuotient(p *fsp.FSP, rel Relation) (*fsp.FSP, error) 
 
 // MinimizeNetwork returns a copy of net in which every component process
 // is replaced by its cached quotient, sound for deciding rel on the
-// composed system (see the file comment). Relabelings and the hidden set
-// are preserved; the input network is not modified. ctx is polled before
+// composed system (see the file comment). Relabelings, the hidden set and
+// the sync table are preserved; the input network is not modified. ctx is
+// polled before
 // each component quotient — one quotient can be a full Paige-Tarjan run,
 // so a cancelled query stops between components rather than minimizing
 // the whole network first.
@@ -58,6 +67,7 @@ func (c *Checker) MinimizeNetwork(ctx context.Context, net *compose.Network, rel
 		Name:       net.Name,
 		Components: make([]compose.Component, len(net.Components)),
 		Hidden:     append([]string(nil), net.Hidden...),
+		Sync:       append([]compose.SyncRule(nil), net.Sync...),
 	}
 	for i, comp := range net.Components {
 		if err := ctx.Err(); err != nil {

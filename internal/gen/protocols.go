@@ -1,0 +1,441 @@
+package gen
+
+import (
+	"fmt"
+
+	"ccs/internal/compose"
+	"ccs/internal/fsp"
+)
+
+// This file generates the distributed-protocols gallery: networks whose
+// coordination step is an n-way rendezvous (compose.SyncRule) rather than
+// a pairwise handshake — leader election on a ring with unanimous
+// ratification, two-phase commit with a coordinator, an f<n/3
+// Byzantine-quorum vote, and a self-stabilizing token ring recovering from
+// a corrupted two-token start. Each protocol comes with a small
+// declarative spec and a defective variant (a station that never acks, a
+// coordinator that skips a participant, more faults than the quorum
+// tolerates, a station that destroys tokens), so the gallery exercises
+// both full sweeps and early mismatches of the on-the-fly game on
+// irregular state spaces. E23 benchmarks otf against minimize-then-compose
+// on the quorum entries.
+
+// electionStation builds one station of the ratified leader-election ring.
+// A claim token circulates on hidden ring channels; the holder either
+// passes it on or commits to announcing, and the announcement only goes
+// through as the joint rendezvous ["announce", "ack" x (n-1)] -> "elected"
+// — every other station must ratify from its idle base. After the
+// rendezvous every station is done and the ring falls silent. With
+// ack=false the station never ratifies: an announcement by any other
+// station then freezes the ring with the token stuck at the announcer — a
+// reachable silent state the spec forbids.
+func electionStation(name string, holder, ack bool) *fsp.FSP {
+	b := fsp.NewBuilder(name)
+	// 0 holding, 1 announcing, 2 idle base, 3-4 idle churn, 5 done.
+	b.AddStates(6)
+	b.ArcName(0, fsp.TauName, 1) // commit to announcing
+	b.ArcName(0, "send'", 2)     // or pass the claim token on
+	b.ArcName(1, "announce", 5)
+	b.ArcName(2, "recv", 0)
+	if ack {
+		b.ArcName(2, "ack", 5)
+	}
+	b.ArcName(2, fsp.TauName, 3)
+	b.ArcName(3, fsp.TauName, 4)
+	b.ArcName(4, fsp.TauName, 2)
+	for s := 0; s < 6; s++ {
+		b.Accept(fsp.State(s))
+	}
+	if !holder {
+		b.SetStart(2)
+	}
+	return b.MustBuild()
+}
+
+// electionRing assembles n stations into the ring, with station noAck (if
+// >= 0) refusing to ratify.
+func electionRing(name string, n, noAck int) *compose.Network {
+	holder := electionStation("candidate-holder", true, true)
+	idle := electionStation("candidate-idle", false, true)
+	net := &compose.Network{Name: name}
+	for i := 0; i < n; i++ {
+		st := idle
+		if i == 0 {
+			st = holder
+		} else if i == noAck {
+			st = electionStation("candidate-no-ack", false, false)
+		}
+		net.Add(st, map[string]string{
+			"recv": fmt.Sprintf("e%d", i),
+			"send": fmt.Sprintf("e%d", (i+1)%n),
+		})
+		net.Hide(fmt.Sprintf("e%d", i))
+	}
+	net.Hide("announce", "ack")
+	parts := []string{"announce"}
+	for i := 1; i < n; i++ {
+		parts = append(parts, "ack")
+	}
+	net.AddSync("elected", parts...)
+	return net
+}
+
+// ElectionRing returns the n-station ratified leader-election ring
+// (n >= 2): observationally it elects exactly once — ≈ ElectionSpec.
+func ElectionRing(n int) *compose.Network {
+	return electionRing(fmt.Sprintf("leader-ring-%d", n), n, -1)
+}
+
+// NoAckElectionRing replaces the station halfway around the ring with one
+// that never ratifies: an announcement by anyone else freezes the ring, so
+// the network is NOT ≈ ElectionSpec.
+func NoAckElectionRing(n int) *compose.Network {
+	return electionRing(fmt.Sprintf("leader-ring-%d-no-ack", n), n, n/2)
+}
+
+// ElectionSpec is the leader election spec: exactly one "elected", then
+// silence. Deterministic and tau-free — direct on-the-fly route.
+func ElectionSpec() *fsp.FSP {
+	b := fsp.NewBuilder("elect-once")
+	b.AddStates(2)
+	b.ArcName(0, "elected", 1)
+	b.Accept(0).Accept(1)
+	return b.MustBuild()
+}
+
+// commitParticipant builds a two-phase-commit participant that churns
+// internally and then offers its fixed ballot ("yes" or "no") to the
+// coordinator's rendezvous, after which it is done.
+func commitParticipant(name, ballot string) *fsp.FSP {
+	b := fsp.NewBuilder(name)
+	// 0 voting base, 1-2 churn, 3 done.
+	b.AddStates(4)
+	b.ArcName(0, ballot, 3)
+	b.ArcName(0, fsp.TauName, 1)
+	b.ArcName(1, fsp.TauName, 2)
+	b.ArcName(2, fsp.TauName, 0)
+	for s := 0; s < 4; s++ {
+		b.Accept(fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
+// twoPhaseCommit builds a coordinator plus n participants, of which noVotes
+// vote "no". The decision is a rendezvous: unanimous consent fires
+// ["req", "yes" x yesParts] -> "commit", while any single "no" reaches the
+// coordinator as ["req", "no"] -> "abort". A correct coordinator asks all
+// n participants (yesParts = n); the buggy variant skips one (yesParts =
+// n-1), so it can commit over a dissenting participant.
+func twoPhaseCommit(name string, n, noVotes, yesParts int) *compose.Network {
+	coord := fsp.NewBuilder("coordinator")
+	coord.AddStates(2)
+	coord.ArcName(0, "req", 1)
+	coord.Accept(0).Accept(1)
+	net := compose.New(name, coord.MustBuild())
+	yes := commitParticipant("participant-yes", "yes")
+	no := commitParticipant("participant-no", "no")
+	for i := 0; i < n; i++ {
+		if i < n-noVotes {
+			net.Add(yes, nil)
+		} else {
+			net.Add(no, nil)
+		}
+	}
+	commit := []string{"req"}
+	for i := 0; i < yesParts; i++ {
+		commit = append(commit, "yes")
+	}
+	net.AddSync("commit", commit...)
+	net.AddSync("abort", "req", "no")
+	net.Hide("req", "yes", "no")
+	return net
+}
+
+// TwoPhaseCommit returns the correct protocol over n participants of which
+// noVotes dissent: ≈ DecisionSpec("commit") when noVotes == 0 and
+// ≈ DecisionSpec("abort") otherwise (the all-yes rendezvous is then
+// unsatisfiable, which `ccs vet` reports statically).
+func TwoPhaseCommit(n, noVotes int) *compose.Network {
+	return twoPhaseCommit(fmt.Sprintf("2pc-%d-%d", n, noVotes), n, noVotes, n)
+}
+
+// BuggyTwoPhaseCommit returns a protocol violation: the coordinator's
+// commit rendezvous skips one participant, and that participant votes no.
+// The network can then both commit and abort, so it is NOT ≈
+// DecisionSpec("abort").
+func BuggyTwoPhaseCommit(n int) *compose.Network {
+	return twoPhaseCommit(fmt.Sprintf("2pc-%d-buggy", n), n, 1, n-1)
+}
+
+// DecisionSpec is the two-phase-commit spec: exactly one decision —
+// "commit" or "abort" — then silence.
+func DecisionSpec(decision string) *fsp.FSP {
+	b := fsp.NewBuilder(decision + "-once")
+	b.AddStates(2)
+	b.ArcName(0, decision, 1)
+	b.Accept(0).Accept(1)
+	return b.MustBuild()
+}
+
+// quorumReplica builds one replica of the Byzantine-quorum vote. Replicas
+// gossip a token around a hidden ring (the irregular bulk that makes the
+// flat product exponential); an honest replica additionally offers "vote"
+// from its idle base, forever. A faulty replica is crash-silent: it keeps
+// the gossip ring alive but never votes.
+func quorumReplica(name string, honest, holder bool) *fsp.FSP {
+	b := fsp.NewBuilder(name)
+	// 0 base, 1 holding the gossip token, 2-3 churn.
+	b.AddStates(4)
+	if honest {
+		b.ArcName(0, "vote", 0)
+	}
+	b.ArcName(0, "recv", 1)
+	b.ArcName(0, fsp.TauName, 2)
+	b.ArcName(1, "send'", 0)
+	b.ArcName(2, fsp.TauName, 3)
+	b.ArcName(3, fsp.TauName, 0)
+	for s := 0; s < 4; s++ {
+		b.Accept(fsp.State(s))
+	}
+	if holder {
+		b.SetStart(1)
+	}
+	return b.MustBuild()
+}
+
+// ByzantineQuorum builds n replicas of which faulty are crash-silent,
+// deciding by the quorum rendezvous ["vote" x (2f+1)] -> "decide" sized
+// for f tolerated faults. With faulty <= f and n = 3f+1 the quorum is
+// always reachable and decisions repeat forever: ≈ DecideSpec. With
+// faulty > f the quorum can never assemble — the rendezvous is statically
+// unsatisfiable (vet's unsatisfiable-vector) and the network is NOT ≈
+// DecideSpec, which the game refutes at the root.
+func ByzantineQuorum(n, f, faulty int) *compose.Network {
+	return byzantineQuorum(fmt.Sprintf("bq-%d-%d-%d", n, f, faulty), n, f, faulty, 1)
+}
+
+// ByzantineQuorumSwarm is ByzantineQuorum with `holders` replicas (the
+// first stations, all honest — holders must stay <= n-faulty) initially
+// holding a gossip token instead of one. Votes and the quorum threshold
+// are untouched — tokens gate only the hidden gossip churn — but the
+// product of the minimized replicas now sweeps every placement of the
+// tokens around the ring, the C(n, holders) bulk the E23 benchmark uses
+// to stress minimize-then-compose.
+func ByzantineQuorumSwarm(n, f, faulty, holders int) *compose.Network {
+	return byzantineQuorum(fmt.Sprintf("bq-swarm-%d-%d-%d-%d", n, f, faulty, holders), n, f, faulty, holders)
+}
+
+func byzantineQuorum(name string, n, f, faulty, holders int) *compose.Network {
+	net := &compose.Network{Name: name}
+	honest := quorumReplica("replica-honest", true, false)
+	holder := quorumReplica("replica-holder", true, true)
+	bad := quorumReplica("replica-faulty", false, false)
+	for i := 0; i < n; i++ {
+		r := honest
+		if i < holders {
+			r = holder
+		} else if i > n-1-faulty {
+			r = bad
+		}
+		net.Add(r, map[string]string{
+			"recv": fmt.Sprintf("g%d", i),
+			"send": fmt.Sprintf("g%d", (i+1)%n),
+		})
+		net.Hide(fmt.Sprintf("g%d", i))
+	}
+	net.Hide("vote")
+	q := 2*f + 1
+	parts := make([]string, q)
+	for i := range parts {
+		parts[i] = "vote"
+	}
+	net.AddSync("decide", parts...)
+	return net
+}
+
+// DecideSpec is the quorum spec: an endless stream of decisions (one
+// accepting state, deterministic, tau-free).
+func DecideSpec() *fsp.FSP {
+	b := fsp.NewBuilder("decide-loop")
+	b.AddStates(1)
+	b.ArcName(0, "decide", 0)
+	b.Accept(0)
+	return b.MustBuild()
+}
+
+// NondetDecideSpec is DecideSpec as a nondeterministic observer — "decide"
+// either stays put or detours through a tau settling state, and the base
+// idles through a tau refresh loop — weakly equivalent to DecideSpec and
+// determinate, so it routes through the determinized on-the-fly game.
+func NondetDecideSpec() *fsp.FSP {
+	b := fsp.NewBuilder("nondet-decide-loop")
+	b.AddStates(3)
+	b.ArcName(0, "decide", 0)
+	b.ArcName(0, "decide", 1)
+	b.ArcName(1, fsp.TauName, 0)
+	b.ArcName(0, fsp.TauName, 2)
+	b.ArcName(2, fsp.TauName, 0)
+	for s := 0; s < 3; s++ {
+		b.Accept(fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
+// stabStation builds one station of the self-stabilizing token ring. On
+// top of the plain token-ring cycle (work, pass, idle churn) a station
+// that already holds the token absorbs a second incoming token instead of
+// refusing it, so a corrupted start with two tokens converges to the
+// canonical single-token ring while "work" keeps streaming: the legal
+// behaviour is ≈ TokenRingSpec from the corrupted start too. The sinkhole
+// variant destroys every token it receives — with it in the ring all
+// tokens eventually vanish and the ring falls silent.
+func stabStation(name string, holder bool) *fsp.FSP {
+	b := fsp.NewBuilder(name)
+	// 0 holding, 1 passing, 2 idle base, 3-4 idle churn.
+	b.AddStates(5)
+	b.ArcName(0, "work", 1)
+	b.ArcName(0, "recv", 0) // absorb a colliding second token
+	b.ArcName(1, "send'", 2)
+	b.ArcName(2, "recv", 0)
+	b.ArcName(2, fsp.TauName, 3)
+	b.ArcName(3, fsp.TauName, 4)
+	b.ArcName(4, fsp.TauName, 2)
+	for s := 0; s < 5; s++ {
+		b.Accept(fsp.State(s))
+	}
+	if !holder {
+		b.SetStart(2)
+	}
+	return b.MustBuild()
+}
+
+// sinkholeStation destroys every token it receives.
+func sinkholeStation() *fsp.FSP {
+	b := fsp.NewBuilder("station-sinkhole")
+	b.AddStates(1)
+	b.ArcName(0, "recv", 0)
+	b.Accept(0)
+	return b.MustBuild()
+}
+
+// stabRing assembles n stations with tokens held by stations 0 and n/2
+// (the corrupted start); station sinkhole (if >= 0) destroys tokens.
+func stabRing(name string, n, sinkhole int) *compose.Network {
+	holder := stabStation("station-stab-holder", true)
+	idle := stabStation("station-stab-idle", false)
+	net := &compose.Network{Name: name}
+	for i := 0; i < n; i++ {
+		st := idle
+		if i == 0 || i == n/2 {
+			st = holder
+		}
+		if i == sinkhole {
+			st = sinkholeStation()
+		}
+		net.Add(st, map[string]string{
+			"recv": fmt.Sprintf("t%d", i),
+			"send": fmt.Sprintf("t%d", (i+1)%n),
+		})
+		net.Hide(fmt.Sprintf("t%d", i))
+	}
+	return net
+}
+
+// StabilizingTokenRing returns the self-stabilizing ring (n >= 3) started
+// in the corrupted two-token configuration: token collisions merge, so the
+// ring still serves an endless work stream — ≈ TokenRingSpec.
+func StabilizingTokenRing(n int) *compose.Network {
+	return stabRing(fmt.Sprintf("stab-ring-%d", n), n, -1)
+}
+
+// SinkholeTokenRing puts a token-destroying station a quarter of the way
+// around the self-stabilizing ring: every token eventually vanishes and
+// the ring can fall silent forever — NOT ≈ TokenRingSpec.
+func SinkholeTokenRing(n int) *compose.Network {
+	return stabRing(fmt.Sprintf("stab-ring-%d-sinkhole", n), n, 1+n/4)
+}
+
+// ProtocolGallery returns the distributed-protocols exhibits: for each
+// protocol a correct instance, a defective variant, and (for the quorum)
+// a nondeterministic-spec route, with the expected ≈ verdicts.
+func ProtocolGallery() []NetworkGalleryEntry {
+	return []NetworkGalleryEntry{
+		{
+			Name:        "leader-ring-5",
+			Net:         ElectionRing(5),
+			Spec:        ElectionSpec(),
+			Weak:        true,
+			Description: "token-based election ratified by an n-way rendezvous elects exactly once",
+		},
+		{
+			Name:        "leader-ring-5-no-ack",
+			Net:         NoAckElectionRing(5),
+			Spec:        ElectionSpec(),
+			Weak:        false,
+			Description: "a station that never ratifies can freeze the election forever",
+		},
+		{
+			Name:        "2pc-3-commit",
+			Net:         TwoPhaseCommit(3, 0),
+			Spec:        DecisionSpec("commit"),
+			Weak:        true,
+			Description: "unanimous consent commits via the (n+1)-way rendezvous",
+		},
+		{
+			Name:        "2pc-3-abort",
+			Net:         TwoPhaseCommit(3, 1),
+			Spec:        DecisionSpec("abort"),
+			Weak:        true,
+			Description: "one dissenting vote forces the abort rendezvous",
+		},
+		{
+			Name:        "2pc-3-buggy",
+			Net:         BuggyTwoPhaseCommit(3),
+			Spec:        DecisionSpec("abort"),
+			Weak:        false,
+			Description: "a coordinator that skips one participant can commit over a no-vote",
+		},
+		{
+			Name:        "bq-4-1",
+			Net:         ByzantineQuorum(4, 1, 1),
+			Spec:        DecideSpec(),
+			Weak:        true,
+			Description: "3 honest of 4 replicas reach the 2f+1 quorum forever",
+		},
+		{
+			Name:        "bq-4-overfaulty",
+			Net:         ByzantineQuorum(4, 1, 2),
+			Spec:        DecideSpec(),
+			Weak:        false,
+			Description: "two faults exceed f=1: the quorum rendezvous never assembles",
+		},
+		{
+			Name:        "bq-4-1-nondet-spec",
+			Net:         ByzantineQuorum(4, 1, 1),
+			Spec:        NondetDecideSpec(),
+			Weak:        true,
+			Description: "the quorum against a nondeterministic decide observer",
+		},
+		{
+			Name:        "bq-4-overfaulty-nondet-spec",
+			Net:         ByzantineQuorum(4, 1, 2),
+			Spec:        NondetDecideSpec(),
+			Weak:        false,
+			Description: "the starved quorum caught by a nondeterministic observer",
+		},
+		{
+			Name:        "stab-ring-5",
+			Net:         StabilizingTokenRing(5),
+			Spec:        TokenRingSpec(),
+			Weak:        true,
+			Description: "two colliding tokens merge: the corrupted ring stabilizes to the work stream",
+		},
+		{
+			Name:        "stab-ring-5-sinkhole",
+			Net:         SinkholeTokenRing(5),
+			Spec:        TokenRingSpec(),
+			Weak:        false,
+			Description: "a token-destroying station eventually silences the ring",
+		},
+	}
+}

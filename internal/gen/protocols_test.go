@@ -1,0 +1,127 @@
+package gen_test
+
+import (
+	"testing"
+
+	"ccs/internal/core"
+	"ccs/internal/fsp"
+	"ccs/internal/gen"
+)
+
+// TestProtocolGalleryVerdicts is the gallery's ground truth: every
+// expected ≈ verdict is differentially verified against the naive flat
+// decider (compose the whole product, saturate, partition) — the oracle
+// the minimize-then-compose and on-the-fly pipelines are later pinned to.
+func TestProtocolGalleryVerdicts(t *testing.T) {
+	for _, e := range gen.ProtocolGallery() {
+		flat, err := e.Net.FSP()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		got, err := core.WeakEquivalent(flat, e.Spec)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if got != e.Weak {
+			t.Errorf("%s: flat ≈ verdict %v, gallery expects %v", e.Name, got, e.Weak)
+		}
+	}
+}
+
+// TestProtocolGalleryShape pins the gallery's structural promises: names
+// are unique, positives and negatives both present, every protocol family
+// except the self-stabilizing ring carries a sync table, and the quorum
+// rendezvous is sized 2f+1.
+func TestProtocolGalleryShape(t *testing.T) {
+	gallery := gen.ProtocolGallery()
+	if len(gallery) < 8 {
+		t.Fatalf("gallery has %d entries, want at least 8", len(gallery))
+	}
+	names := map[string]bool{}
+	pos, neg := 0, 0
+	for _, e := range gallery {
+		if names[e.Name] {
+			t.Errorf("duplicate gallery name %q", e.Name)
+		}
+		names[e.Name] = true
+		if e.Weak {
+			pos++
+		} else {
+			neg++
+		}
+		if e.Description == "" {
+			t.Errorf("%s: no description", e.Name)
+		}
+		if err := e.Net.Validate(); err != nil {
+			t.Errorf("%s: invalid network: %v", e.Name, err)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Fatalf("gallery needs positives and negatives, have %d/%d", pos, neg)
+	}
+	for _, nm := range []string{"leader-ring-5", "2pc-3-commit", "bq-4-1", "stab-ring-5"} {
+		if !names[nm] {
+			t.Errorf("gallery lacks the %s exhibit", nm)
+		}
+	}
+	bq := gen.ByzantineQuorum(7, 2, 2)
+	if len(bq.Sync) != 1 || len(bq.Sync[0].Parts) != 5 {
+		t.Fatalf("ByzantineQuorum(7,2,2) rendezvous has %d rules / %d parts, want 1 rule of 2f+1=5 parts", len(bq.Sync), len(bq.Sync[0].Parts))
+	}
+	if len(gen.StabilizingTokenRing(5).Sync) != 0 {
+		t.Error("the self-stabilizing ring should need no sync table (pairwise absorption)")
+	}
+}
+
+// TestStabilizationMerges pins the self-stabilization mechanism itself:
+// from the corrupted two-token start the ring reaches the canonical
+// single-token configuration (the flat product of the corrupted ring is
+// weakly equivalent to a ring started with one token), while the sinkhole
+// ring is not even equivalent to its own healthy shape.
+func TestStabilizationMerges(t *testing.T) {
+	corrupted, err := gen.StabilizingTokenRing(4).FSP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A healthy single-token instance: same stations, one holder.
+	healthy, err := gen.TokenRing(4).FSP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := core.WeakEquivalent(corrupted, healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("the corrupted two-token ring does not stabilize to the single-token behaviour")
+	}
+}
+
+// TestQuorumThresholdSharp: the f<n/3 bound is sharp in the gallery
+// generator — with exactly f faults the quorum still assembles, with f+1
+// it never does (no "decide" in the whole product).
+func TestQuorumThresholdSharp(t *testing.T) {
+	hasDecide := func(net interface{ FSP() (*fsp.FSP, error) }) bool {
+		f, err := net.FSP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < f.NumStates(); s++ {
+			for _, a := range f.Arcs(fsp.State(s)) {
+				if f.Alphabet().Name(a.Act) == "decide" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !hasDecide(gen.ByzantineQuorum(4, 1, 1)) {
+		t.Error("bq(4,1,1): quorum of 3 honest replicas cannot decide")
+	}
+	if hasDecide(gen.ByzantineQuorum(4, 1, 2)) {
+		t.Error("bq(4,1,2): 2 honest replicas assembled a quorum of 3")
+	}
+	if !hasDecide(gen.ByzantineQuorum(7, 2, 2)) {
+		t.Error("bq(7,2,2): quorum of 5 honest replicas cannot decide")
+	}
+}

@@ -126,6 +126,45 @@ func UndefinedChannelNetwork() *compose.Network {
 	return compose.New("undefined-channel", loopProc("ab", "a", "b")).Hide("q")
 }
 
+// GhostVectorNetwork attaches a synchronization rule with a ghost part:
+// the table demands a rendezvous of "ping" with "vote", but no component
+// ever performs "vote" — the vector can never fire.
+func GhostVectorNetwork() *compose.Network {
+	ping := loopProc("pinger", "ping")
+	pong := loopProc("ponger", "pong")
+	return compose.New("ghost-vector", ping, pong).AddSync("decide", "ping", "vote")
+}
+
+// DeficitVectorNetwork demands two "v" parts when only one component
+// carries "v": a rendezvous takes one part per distinct component, so the
+// rule fails the parts-to-components matching.
+func DeficitVectorNetwork() *compose.Network {
+	v := loopProc("voter", "v")
+	w := loopProc("other", "w")
+	return compose.New("deficit-vector", v, w).AddSync("go", "v", "v")
+}
+
+// PrunedVectorNetwork hides a rule's visible result: restriction prunes
+// the whole vector at composition time, almost always a mis-wiring of
+// "hide the parts" as "hide the result". The hide itself is not an
+// undefined-channel — the sync table speaks for the name.
+func PrunedVectorNetwork() *compose.Network {
+	v1 := loopProc("voter1", "v")
+	v2 := loopProc("voter2", "v")
+	return compose.New("pruned-vector", v1, v2).AddSync("go", "v", "v").Hide("go")
+}
+
+// VectorCleanNetwork is the sync-table negative control: three voters
+// rendezvous three-way on the hidden "v" with an internal result. No
+// pairwise handshake on "v" is possible (no co-name anywhere), but the
+// live vector keeps the channel and the components alive — neither
+// dead-sync nor restriction-sink may fire.
+func VectorCleanNetwork() *compose.Network {
+	net := compose.New("vector-clean",
+		loopProc("voter1", "v"), loopProc("voter2", "v"), loopProc("voter3", "v"))
+	return net.AddSync("", "v", "v", "v").Hide("v")
+}
+
 // CleanNetwork is the negative control: a live handshake on the hidden
 // channel "a" between a sender and a receiver that each keep an observable
 // action, no relabelings, no divergence. vet.Network must report nothing.
@@ -189,6 +228,30 @@ func VetGallery() []VetGalleryEntry {
 			Net:         UndefinedChannelNetwork(),
 			Codes:       []string{"undefined-channel"},
 			Description: "a hide directive naming a channel no component carries",
+		},
+		{
+			Name:        "unsatisfiable-vector-ghost",
+			Net:         GhostVectorNetwork(),
+			Codes:       []string{"unsatisfiable-vector"},
+			Description: "a sync rule with a part no component ever performs",
+		},
+		{
+			Name:        "unsatisfiable-vector-deficit",
+			Net:         DeficitVectorNetwork(),
+			Codes:       []string{"unsatisfiable-vector"},
+			Description: "a sync rule with more parts than components able to supply them",
+		},
+		{
+			Name:        "unsatisfiable-vector-pruned",
+			Net:         PrunedVectorNetwork(),
+			Codes:       []string{"unsatisfiable-vector"},
+			Description: "a sync rule whose visible result the restriction prunes",
+		},
+		{
+			Name:        "vector-clean",
+			Net:         VectorCleanNetwork(),
+			Codes:       nil,
+			Description: "a live three-way rendezvous on a hidden channel with no findings",
 		},
 		{
 			Name:        "clean",

@@ -7,7 +7,12 @@
 //
 // The game. Successor tuples are drawn directly from the network's
 // compose.Expansion — the per-component dense-label transition tables the
-// materializing explorer runs on — and paired with the states of a
+// materializing explorer runs on, including any n-way sync-vector
+// rendezvous the network's synchronization table defines: a joint step
+// arrives here as one product transition whose dense label is the
+// vector's result (0 for tau), so the enabledness bitsets, the lazy weak
+// closures and the ≈ᶜ root condition consume vector labels with no
+// special casing — and paired with the states of a
 // deterministic view of the spec. When the spec is action-deterministic
 // (and tau-free for the weak relations) that view is the spec itself;
 // otherwise the spec side is determinized lazily by the subset

@@ -1,7 +1,8 @@
 // Package vet is the static-analysis pass over CCS networks: a diagnostic
 // engine that inspects a compose.Network description — the component
-// processes, their relabelings, the restriction set, and the optional
-// specification — and reports defects that are decidable syntactically,
+// processes, their relabelings, the restriction set, the synchronization
+// table, and the optional specification — and reports defects that are
+// decidable syntactically,
 // before the first product successor is ever expanded.
 //
 // Every workload layer of this module (one-shot checks, the batch engine,
@@ -39,12 +40,14 @@ import (
 // reports relabel-restricted rather than undefined-channel.
 const (
 	// CodeDeadSync: a restricted channel whose send and receive sides
-	// never both occur across distinct components — the handshake can
-	// never fire, and every transition waiting on it is dead.
+	// never both occur across distinct components, and which no live
+	// synchronization vector uses as a part — the handshake can never
+	// fire, and every transition waiting on it is dead.
 	CodeDeadSync = "dead-sync"
 	// CodeRestrictionSink: every observable action of a component is
 	// restricted away and none has a complementary partner in another
-	// component; the component contributes only deadlock to the product.
+	// component or a live synchronization vector to join; the component
+	// contributes only deadlock to the product.
 	CodeRestrictionSink = "restriction-sink"
 	// CodeRelabelCollision: a relabeling maps two distinct action names
 	// onto one target, merging previously distinct handshakes.
@@ -71,6 +74,16 @@ const (
 	// CodeUndefinedChannel: a hide or relabel directive names a channel no
 	// component carries — the usual shape of a typo'd wiring.
 	CodeUndefinedChannel = "undefined-channel"
+	// CodeUnsatisfiableVector: a synchronization-table rule that can never
+	// fire — a ghost part no component ever performs, or more parts than
+	// there are distinct components able to supply them (a rendezvous takes
+	// one part per component, so satisfiability is a bipartite matching
+	// between parts and the components whose reachable sort carries them).
+	// Also emitted, as a warning, for a rule whose visible result is
+	// restricted: restriction prunes such a vector wholesale at composition
+	// time, which is almost always a mis-wiring of "hide the parts" as
+	// "hide the result".
+	CodeUnsatisfiableVector = "unsatisfiable-vector"
 )
 
 // Severities of a Diagnostic. Errors are findings the analysis can prove
@@ -142,6 +155,7 @@ func Network(net *compose.Network, spec *fsp.FSP) ([]Diagnostic, error) {
 	a.prepare()
 	a.vetRelabelings()
 	a.vetHidden()
+	a.vetSyncTable()
 	a.vetDivergence()
 	a.vetSort()
 	return a.diags, nil
@@ -169,7 +183,24 @@ type analysis struct {
 	occurs  []map[int32]bool // [component] labels on reachable arcs
 	sink    []bool           // [component] restriction-sink verdict
 
+	fates   []ruleFate     // [sync rule] satisfiability verdict
+	vecPart map[int32]bool // labels that are parts of a live sync rule
+
 	diags []Diagnostic
+}
+
+// ruleFate is the sort-level verdict on one synchronization rule.
+type ruleFate struct {
+	ghosts  []string // parts no component ever performs, deduplicated
+	matched int      // size of the parts-to-components matching
+	pruned  bool     // visible result restricted away at Expand time
+}
+
+// live: the rule can fire at the sort level and survives restriction —
+// exactly the rules whose participation counts as a synchronization
+// partner for dead-sync and restriction-sink.
+func (f ruleFate) live(parts int) bool {
+	return len(f.ghosts) == 0 && f.matched == parts && !f.pruned
 }
 
 func (a *analysis) emit(d Diagnostic) { a.diags = append(a.diags, d) }
@@ -184,9 +215,121 @@ func (a *analysis) prepare() {
 	for i := 0; i < k; i++ {
 		a.occurs[i] = reachableLabels(a.e.Trans[i], a.e.Starts[i])
 	}
+	a.prepareSync()
 	a.sink = make([]bool, k)
 	for i := 0; i < k; i++ {
 		a.sink[i] = a.isSink(i)
+	}
+}
+
+// prepareSync decides the fate of every synchronization rule and collects
+// the part labels of the live ones, which the restriction analyzers treat
+// as synchronization partners.
+func (a *analysis) prepareSync() {
+	a.fates = make([]ruleFate, len(a.net.Sync))
+	a.vecPart = map[int32]bool{}
+	for r, rule := range a.net.Sync {
+		f := &a.fates[r]
+		ids := make([]int32, 0, len(rule.Parts))
+		seenGhost := map[string]bool{}
+		for _, p := range rule.Parts {
+			l, ok := a.labelID[p]
+			if !ok || !a.anyOccurs(l) {
+				if !seenGhost[p] {
+					seenGhost[p] = true
+					f.ghosts = append(f.ghosts, p)
+				}
+				continue
+			}
+			ids = append(ids, l)
+		}
+		sort.Strings(f.ghosts)
+		f.matched = a.matchParts(ids)
+		if !rule.Tau() {
+			if res, ok := a.labelID[rule.Result]; ok && a.e.Hidden[res] {
+				f.pruned = true
+			}
+		}
+		if f.live(len(rule.Parts)) {
+			for _, l := range ids {
+				a.vecPart[l] = true
+			}
+		}
+	}
+}
+
+// anyOccurs reports whether any component's reachable sort carries l.
+func (a *analysis) anyOccurs(l int32) bool {
+	for i := range a.occurs {
+		if a.occurs[i][l] {
+			return true
+		}
+	}
+	return false
+}
+
+// matchParts computes the maximum bipartite matching between the rule's
+// parts and the components whose reachable sort carries them — a
+// rendezvous consumes one part per distinct component, so the rule is
+// sort-level satisfiable iff every part is matched (Hall's condition,
+// decided by augmenting paths; both sides are tiny).
+func (a *analysis) matchParts(parts []int32) int {
+	k := len(a.occurs)
+	compTo := make([]int, k)
+	for i := range compTo {
+		compTo[i] = -1
+	}
+	var try func(p int, seen []bool) bool
+	try = func(p int, seen []bool) bool {
+		for j := 0; j < k; j++ {
+			if seen[j] || !a.occurs[j][parts[p]] {
+				continue
+			}
+			seen[j] = true
+			if compTo[j] == -1 || try(compTo[j], seen) {
+				compTo[j] = p
+				return true
+			}
+		}
+		return false
+	}
+	matched := 0
+	for p := range parts {
+		if try(p, make([]bool, k)) {
+			matched++
+		}
+	}
+	return matched
+}
+
+// vetSyncTable reports the unsatisfiable-vector findings prepared by
+// prepareSync: ghost parts and matching deficits as errors, a restricted
+// visible result as a warning (the pruning is the documented semantics,
+// but hiding the result instead of the parts is almost always a typo).
+func (a *analysis) vetSyncTable() {
+	for r, rule := range a.net.Sync {
+		f := a.fates[r]
+		switch {
+		case len(f.ghosts) > 0:
+			a.emit(Diagnostic{
+				Code: CodeUnsatisfiableVector, Severity: SeverityError,
+				Channel: f.ghosts[0],
+				Message: fmt.Sprintf("sync vector [%s] can never fire: no component ever performs %s", rule, quoteList(f.ghosts)),
+			})
+		case f.matched < len(rule.Parts):
+			a.emit(Diagnostic{
+				Code: CodeUnsatisfiableVector, Severity: SeverityError,
+				Message: fmt.Sprintf("sync vector [%s] can never fire: it needs %d distinct components (one per part), but at most %d can jointly supply the parts",
+					rule, len(rule.Parts), f.matched),
+			})
+		case f.pruned:
+			a.emit(Diagnostic{
+				Code: CodeUnsatisfiableVector, Severity: SeverityWarning,
+				Channel: rule.Result,
+				Message: fmt.Sprintf("sync vector [%s] is pruned by the restriction: its visible result %q is hidden, which drops the whole vector — to internalize the rendezvous, make the result tau or hide only the parts",
+					rule, rule.Result),
+			})
+		}
 	}
 }
 
@@ -231,13 +374,14 @@ func (a *analysis) hasPartner(i int, l int32) bool {
 }
 
 // isSink decides restriction-sink for component i: it has observable
-// actions, every one of them is restricted, and none can handshake.
+// actions, every one of them is restricted, and none can handshake or
+// serve as the part of a live synchronization vector.
 func (a *analysis) isSink(i int) bool {
 	if len(a.occurs[i]) == 0 {
 		return false
 	}
 	for l := range a.occurs[i] {
-		if !a.e.Hidden[l] || a.hasPartner(i, l) {
+		if !a.e.Hidden[l] || a.hasPartner(i, l) || a.vecPart[l] {
 			return false
 		}
 	}
@@ -408,6 +552,20 @@ func (a *analysis) vetHidden() {
 		}
 	}
 
+	// Names the synchronization table speaks for: hiding a rule's visible
+	// result is deliberate pruning (vetSyncTable warns about it), and a
+	// hidden ghost part is already the rule's unsatisfiable-vector error —
+	// neither is an undefined-channel typo.
+	syncNames := map[string]bool{}
+	for _, rule := range a.net.Sync {
+		for _, p := range rule.Parts {
+			syncNames[baseName(p)] = true
+		}
+		if !rule.Tau() {
+			syncNames[baseName(rule.Result)] = true
+		}
+	}
+
 	for _, h := range a.hiddenBases() {
 		send, sendOK := a.labelID[h]
 		recv, recvOK := a.labelID[fsp.CoName(h)]
@@ -427,8 +585,9 @@ func (a *analysis) vetHidden() {
 		}
 		if len(users) == 0 {
 			// The channel occurs nowhere. If some component relabels it
-			// away, relabel-restricted already explains the situation.
-			if !relabelSources[h] {
+			// away, relabel-restricted already explains the situation; if
+			// the sync table names it, the vector analyzers do.
+			if !relabelSources[h] && !syncNames[h] {
 				a.emit(Diagnostic{
 					Code: CodeUndefinedChannel, Severity: SeverityError,
 					Channel: h,
@@ -438,6 +597,12 @@ func (a *analysis) vetHidden() {
 			continue
 		}
 		if a.handshakePossible(senders, receivers) {
+			continue
+		}
+		// A live sync vector over either side keeps the channel alive even
+		// without a pairwise partner: the rendezvous matches part names
+		// literally, hidden or not.
+		if (sendOK && a.vecPart[send]) || (recvOK && a.vecPart[recv]) {
 			continue
 		}
 		// Dead channel. Skip it when every user is a restriction-sink —
@@ -622,6 +787,13 @@ func (a *analysis) vetSort() {
 			if !a.e.Hidden[l] {
 				netSort[a.e.Labels[l]] = true
 			}
+		}
+	}
+	// A live sync vector with a visible result contributes that result to
+	// the product's sort even when every part is hidden.
+	for r, rule := range a.net.Sync {
+		if !rule.Tau() && a.fates[r].live(len(rule.Parts)) {
+			netSort[rule.Result] = true
 		}
 	}
 	specSort := map[string]bool{}

@@ -221,6 +221,81 @@ func TestNetworkGalleryNoErrors(t *testing.T) {
 	}
 }
 
+// TestSyncTableSeverities pins the variant severities of
+// unsatisfiable-vector: ghost parts and matching deficits are errors, a
+// pruned visible result is a warning.
+func TestSyncTableSeverities(t *testing.T) {
+	for name, tc := range map[string]struct {
+		net  *compose.Network
+		sev  string
+		frag string
+	}{
+		"ghost":   {gen.GhostVectorNetwork(), vet.SeverityError, "no component ever performs"},
+		"deficit": {gen.DeficitVectorNetwork(), vet.SeverityError, "distinct components"},
+		"pruned":  {gen.PrunedVectorNetwork(), vet.SeverityWarning, "pruned by the restriction"},
+	} {
+		diags, err := vet.Network(tc.net, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(diags) != 1 || diags[0].Code != vet.CodeUnsatisfiableVector {
+			t.Fatalf("%s: got %v, want one unsatisfiable-vector", name, diags)
+		}
+		if diags[0].Severity != tc.sev {
+			t.Errorf("%s: severity %q, want %q", name, diags[0].Severity, tc.sev)
+		}
+		if !strings.Contains(diags[0].Message, tc.frag) {
+			t.Errorf("%s: message %q lacks %q", name, diags[0].Message, tc.frag)
+		}
+	}
+}
+
+// TestSyncTableSort: a live vector's visible result belongs to the
+// network's observable sort — a spec performing it draws no
+// sort-mismatch, a spec ignoring it draws the network-side warning.
+func TestSyncTableSort(t *testing.T) {
+	quorum := func() *compose.Network {
+		net := compose.New("quorum",
+			loopOf(t, "v"), loopOf(t, "v"), loopOf(t, "v"))
+		return net.AddSync("decide", "v", "v", "v").Hide("v")
+	}
+	diags, err := vet.Network(quorum(), specOf(t, "decide"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("spec covering the vector result: got %v, want none", diags)
+	}
+	diags, err = vet.Network(quorum(), specOf(t, "other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var codes []string
+	for _, d := range diags {
+		codes = append(codes, d.Code)
+	}
+	sort.Strings(codes)
+	if strings.Join(codes, ",") != "sort-mismatch" {
+		t.Fatalf("spec ignoring the vector result: got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, `"decide"`) {
+		t.Errorf("sort-mismatch does not name the vector result: %q", diags[0].Message)
+	}
+}
+
+func loopOf(t *testing.T, actions ...string) *fsp.FSP {
+	t.Helper()
+	b := fsp.NewBuilder("loop")
+	b.AddStates(len(actions))
+	for i, act := range actions {
+		b.ArcName(fsp.State(i), act, fsp.State((i+1)%len(actions)))
+	}
+	for s := range actions {
+		b.Accept(fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
 // TestValidationErrors: a malformed network is an error, not diagnostics.
 func TestValidationErrors(t *testing.T) {
 	net := compose.New("bad", gen.CleanNetwork().Components[0].P).Hide(fsp.TauName)

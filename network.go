@@ -21,6 +21,15 @@ type Network = compose.Network
 // optional relabeling.
 type NetworkComponent = compose.Component
 
+// SyncRule is one n-way rendezvous vector of a network's synchronization
+// table: distinct components jointly fire the Parts (post-relabeling
+// action names, one part each) as a single product step labelled Result
+// ("" or "tau" for an internal step). Append rules with Network.AddSync;
+// a network without rules is plain pairwise CCS. See internal/compose for
+// the full semantics (restriction prunes a hidden visible result but
+// leaves a rendezvous over hidden parts intact).
+type SyncRule = compose.SyncRule
+
 // NewNetwork returns a network over the given components with no
 // relabeling and nothing hidden; extend it with Add and Hide.
 func NewNetwork(name string, components ...*Process) *Network {

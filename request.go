@@ -109,6 +109,11 @@ type NetworkRequest struct {
 	Components []NetworkComponentRef `json:"components"`
 	// Hide lists channels restricted after composition.
 	Hide []string `json:"hide,omitempty"`
+	// Sync lists n-way rendezvous vectors on top of the pairwise CCS
+	// handshakes (compose.SyncRule); absent, the network is plain CCS —
+	// the field is omitted from documents that don't use it, so the
+	// schema stays version-compatible.
+	Sync []NetworkSyncRule `json:"sync,omitempty"`
 	// Spec is the specification process source. It may be empty only where
 	// a caller wants the composed process itself (the CLI's spec-less
 	// network form); Do rejects a request without one.
@@ -116,10 +121,21 @@ type NetworkRequest struct {
 }
 
 // NetworkComponentRef is one component instance: a process source plus an
-// optional action relabeling.
+// optional action relabeling. Count > 1 instantiates the component that
+// many times (each instance under the same relabeling — the parameterized
+// "component COUNT x NAME" form); 0 means 1.
 type NetworkComponentRef struct {
 	Process string            `json:"process"`
 	Relabel map[string]string `json:"relabel,omitempty"`
+	Count   int               `json:"count,omitempty"`
+}
+
+// NetworkSyncRule is the data form of one sync vector: the actions that
+// distinct components jointly fire and the label of the joint step
+// (empty or "tau" for an internal rendezvous).
+type NetworkSyncRule struct {
+	Parts  []string `json:"parts"`
+	Result string   `json:"result,omitempty"`
 }
 
 // CheckOption adjusts a CheckRequest under construction.
@@ -625,18 +641,35 @@ func (nr *NetworkRequest) build(cache *loadCache) (*Network, error) {
 	}
 	net := &Network{Name: nr.Name}
 	for i, cr := range nr.Components {
+		count := cr.Count
+		if count == 0 {
+			count = 1
+		}
+		if count < 0 || count > maxComponentCount {
+			return nil, fmt.Errorf("component %d: count %d outside 1..%d", i+1, cr.Count, maxComponentCount)
+		}
 		p, err := cache.resolve(cr.Process)
 		if err != nil {
 			return nil, fmt.Errorf("component %d: %w", i+1, err)
 		}
-		net.Add(p, cr.Relabel)
+		for j := 0; j < count; j++ {
+			net.Add(p, cr.Relabel)
+		}
 	}
 	net.Hide(nr.Hide...)
+	for _, r := range nr.Sync {
+		net.AddSync(r.Result, r.Parts...)
+	}
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
 	return net, nil
 }
+
+// maxComponentCount bounds the parameterized instantiation of one
+// component ref: the product is exponential in the component count, so a
+// count beyond this is a typo or an attack, not a workload.
+const maxComponentCount = 1024
 
 // BuildNetwork materializes a NetworkRequest into a *Network plus its
 // (possibly nil) resolved spec, resolving external references through

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -242,6 +243,11 @@ func ParseBatchList(r io.Reader, defaultRel string) ([]CheckRequest, error) {
 //	name N                      # optional network name
 //	component A [old=new ...]   # add an instance of process source A,
 //	                            # optionally relabeling its actions
+//	component 5 x A [old=new ...] # add 5 instances of A (parameterized
+//	                            # instantiation; same relabeling for each)
+//	sync A B ... [-> RES]       # n-way rendezvous: distinct components
+//	                            # jointly fire A, B, ... as one step
+//	                            # labelled RES (omitted -> internal tau)
 //	hide NAME...                # restrict channels (handshakes survive)
 //	spec S                      # the specification process source
 //	rel REL                     # relation name (returned separately)
@@ -276,8 +282,21 @@ func ParseNetworkDescription(r io.Reader) (NetworkRequest, string, error) {
 			if len(fields) < 2 {
 				return fail(lineNo, "component wants a process argument")
 			}
+			// Parameterized form: "component COUNT x NAME [old=new ...]".
+			// COUNT must be all digits and be followed by a literal "x",
+			// so a process file named "2" still parses in the plain form.
+			count := 0
+			rest := fields[1:]
+			if len(rest) >= 3 && rest[1] == "x" && isAllDigits(rest[0]) {
+				n, err := strconv.Atoi(rest[0])
+				if err != nil || n < 1 {
+					return fail(lineNo, "component count %q is not a positive integer", rest[0])
+				}
+				count = n
+				rest = rest[2:]
+			}
 			var relabel map[string]string
-			for _, pair := range fields[2:] {
+			for _, pair := range rest[1:] {
 				old, to, ok := strings.Cut(pair, "=")
 				if !ok || old == "" || to == "" {
 					return fail(lineNo, "relabeling %q is not old=new", pair)
@@ -287,7 +306,21 @@ func ParseNetworkDescription(r io.Reader) (NetworkRequest, string, error) {
 				}
 				relabel[old] = to
 			}
-			nr.Components = append(nr.Components, NetworkComponentRef{Process: fields[1], Relabel: relabel})
+			nr.Components = append(nr.Components, NetworkComponentRef{Process: rest[0], Relabel: relabel, Count: count})
+		case "sync":
+			args := fields[1:]
+			result := ""
+			if i := indexOf(args, "->"); i >= 0 {
+				if i != len(args)-2 {
+					return fail(lineNo, "sync wants PART PART ... [-> RESULT]")
+				}
+				result = args[len(args)-1]
+				args = args[:i]
+			}
+			if len(args) < 2 {
+				return fail(lineNo, "sync wants at least two parts")
+			}
+			nr.Sync = append(nr.Sync, NetworkSyncRule{Parts: append([]string(nil), args...), Result: result})
 		case "hide":
 			if len(fields) < 2 {
 				return fail(lineNo, "hide wants channel names")
@@ -314,4 +347,27 @@ func ParseNetworkDescription(r io.Reader) (NetworkRequest, string, error) {
 		return NetworkRequest{}, "", fmt.Errorf("network description has no component directives")
 	}
 	return nr, rel, nil
+}
+
+// isAllDigits reports whether s is a nonempty ASCII-digit string.
+func isAllDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// indexOf returns the index of the first occurrence of want in ss, or -1.
+func indexOf(ss []string, want string) int {
+	for i, s := range ss {
+		if s == want {
+			return i
+		}
+	}
+	return -1
 }

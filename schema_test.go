@@ -166,6 +166,96 @@ rel weak
 	}
 }
 
+// TestParseNetworkDescriptionSyncAndCount covers the sync-block and
+// parameterized-instantiation grammar, including the full round trip:
+// description text -> NetworkRequest -> JSON -> NetworkRequest -> built
+// *ccs.Network with the instances expanded and the sync table attached.
+func TestParseNetworkDescriptionSyncAndCount(t *testing.T) {
+	desc := `
+name quorum
+# three voters plus one odd participant
+component 3 x expr:aa
+component expr:bb r=s
+sync a a -> decide
+sync b b
+hide a
+spec expr:c
+rel weak
+`
+	nr, rel, err := ccs.ParseNetworkDescription(strings.NewReader(desc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != "weak" || nr.Name != "quorum" {
+		t.Fatalf("parsed: %+v rel=%q", nr, rel)
+	}
+	if len(nr.Components) != 2 || nr.Components[0].Count != 3 || nr.Components[1].Count != 0 {
+		t.Fatalf("components: %+v", nr.Components)
+	}
+	if nr.Components[1].Relabel["r"] != "s" {
+		t.Fatalf("relabel lost on counted form: %+v", nr.Components)
+	}
+	if len(nr.Sync) != 2 {
+		t.Fatalf("sync rules: %+v", nr.Sync)
+	}
+	if nr.Sync[0].Result != "decide" || len(nr.Sync[0].Parts) != 2 || nr.Sync[0].Parts[0] != "a" {
+		t.Fatalf("visible rule: %+v", nr.Sync[0])
+	}
+	if nr.Sync[1].Result != "" || len(nr.Sync[1].Parts) != 2 {
+		t.Fatalf("tau rule: %+v", nr.Sync[1])
+	}
+
+	// JSON round trip through the versioned envelope.
+	req := ccs.NewNetworkCheck(rel, nr)
+	data, err := ccs.EncodeRequests([]ccs.CheckRequest{req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ccs.DecodeRequests(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Network == nil {
+		t.Fatalf("round trip: %+v", back)
+	}
+	got := *back[0].Network
+	if got.Components[0].Count != 3 || len(got.Sync) != 2 || got.Sync[0].Result != "decide" {
+		t.Fatalf("round-tripped network: %+v", got)
+	}
+
+	// Build: 3+1 component instances, sync table on the network.
+	net, spec, err := got.BuildNetwork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Components) != 4 || len(net.Sync) != 2 || spec == nil {
+		t.Fatalf("built network: %d components, %d rules", len(net.Components), len(net.Sync))
+	}
+
+	for name, bad := range map[string]string{
+		"sync one part":    "component a\nsync x\n",
+		"sync no parts":    "component a\nsync -> r\n",
+		"sync arrow arity": "component a\nsync x y -> r s\n",
+		"sync arrow only":  "component a\nsync ->\n",
+		"count zero":       "component 0 x a\n",
+	} {
+		if _, _, err := ccs.ParseNetworkDescription(strings.NewReader(bad)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+
+	// A process file literally named "2" still parses in the plain form.
+	nr2, _, err := ccs.ParseNetworkDescription(strings.NewReader("component 2\n"))
+	if err != nil || nr2.Components[0].Process != "2" || nr2.Components[0].Count != 0 {
+		t.Fatalf("digit-named process: %+v err=%v", nr2, err)
+	}
+	// An oversized count is rejected at build time.
+	huge := ccs.NetworkRequest{Components: []ccs.NetworkComponentRef{{Process: "expr:a", Count: 1 << 20}}}
+	if _, _, err := huge.BuildNetwork(nil); err == nil {
+		t.Fatal("count 2^20 accepted")
+	}
+}
+
 // TestSchemaAgreesWithFacade replays a parsed batch list through Do and
 // checks the verdicts match the legacy facade calls — the "one schema
 // everywhere" guarantee.

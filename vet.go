@@ -31,6 +31,10 @@ const (
 	CodeTauDivergence     = vet.CodeTauDivergence
 	CodeUnguardedStart    = vet.CodeUnguardedStart
 	CodeUndefinedChannel  = vet.CodeUndefinedChannel
+	// CodeUnsatisfiableVector flags a synchronization-table rule that can
+	// never fire (ghost part, or more parts than components able to supply
+	// them) or whose visible result the restriction prunes.
+	CodeUnsatisfiableVector = vet.CodeUnsatisfiableVector
 )
 
 // Diagnostic severities.
